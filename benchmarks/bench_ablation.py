@@ -1,0 +1,166 @@
+"""Ablations of design choices DESIGN.md calls out (beyond the paper).
+
+* post-remerge drain (off / capped / full) — the §4.2.7 repair-window
+  trade-off;
+* trace cache on/off — the paper reports it made a negligible difference;
+* catchup budget — the false-positive exit cap.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.core.config import MMTConfig
+from repro.harness import format_table, geomean, run_app
+
+APPS = ["ammp", "equake", "vpr", "water-sp"]
+THREADS = 2
+
+
+def _speedup(app, config, scale, machine=None):
+    base = run_app(app, MMTConfig.base(), THREADS, machine=machine, scale=scale)
+    other = run_app(app, config, THREADS, machine=machine, scale=scale)
+    return base.cycles / other.cycles
+
+
+def test_ablation_remerge_drain(benchmark, scale):
+    def sweep():
+        rows = []
+        for label, drain in (("off", 0), ("capped-12", 12), ("full", 10_000)):
+            config = dataclasses.replace(MMTConfig.mmt_fxr(), remerge_drain=drain)
+            speeds = {app: _speedup(app, config, scale) for app in APPS}
+            rows.append(
+                {"drain": label, **speeds, "geomean": geomean(speeds.values())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — post-remerge drain (MMT-FXR speedup over Base, 2 threads)",
+        format_table(rows, columns=["drain"] + APPS + ["geomean"]),
+    )
+    by_label = {row["drain"]: row["geomean"] for row in rows}
+    # The shipped default (off) must not trail the full drain.
+    assert by_label["off"] >= by_label["full"] - 0.02
+
+
+def test_ablation_trace_cache(benchmark, scale):
+    from repro.pipeline.config import MachineConfig
+
+    def sweep():
+        rows = []
+        for label, enabled in (("trace-cache", True), ("plain-L1I", False)):
+            machine = MachineConfig(num_threads=THREADS, trace_cache_enabled=enabled)
+            speeds = {
+                app: _speedup(app, MMTConfig.mmt_fxr(), scale, machine)
+                for app in APPS
+            }
+            rows.append(
+                {"fetch": label, **speeds, "geomean": geomean(speeds.values())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — trace cache (paper: negligible effect on the results)",
+        format_table(rows, columns=["fetch"] + APPS + ["geomean"]),
+    )
+    values = [row["geomean"] for row in rows]
+    assert abs(values[0] - values[1]) < 0.20  # same ballpark either way
+
+
+def test_ablation_catchup_budget(benchmark, scale):
+    def sweep():
+        rows = []
+        for budget in (8, 64, 512):
+            config = dataclasses.replace(
+                MMTConfig.mmt_fxr(), max_catchup_branches=budget
+            )
+            speeds = {app: _speedup(app, config, scale) for app in APPS}
+            rows.append(
+                {"budget": budget, **speeds, "geomean": geomean(speeds.values())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — CATCHUP branch budget",
+        format_table(rows, columns=["budget"] + APPS + ["geomean"]),
+    )
+    for row in rows:
+        assert row["geomean"] > 0.7
+
+
+def test_ablation_gang_scheduling(benchmark, scale):
+    """§4.4: MMT assumes gang scheduling.  Quantify what scheduling skew
+    costs by delaying the second context's start."""
+    from repro.pipeline.config import MachineConfig
+    from repro.pipeline.smt import SMTCore
+    from repro.workloads.generator import build_workload
+    from repro.workloads.profiles import get_profile
+
+    apps = ["ammp", "water-sp"]
+
+    def sweep():
+        rows = []
+        for delay in (0, 50, 150, 400):
+            row = {"skew_cycles": delay}
+            for app in apps:
+                build = build_workload(get_profile(app), 2, scale=scale)
+                base = SMTCore(
+                    MachineConfig(num_threads=2), MMTConfig.base(), build.job()
+                )
+                base_cycles = base.run().cycles
+                mmt = SMTCore(
+                    MachineConfig(num_threads=2),
+                    MMTConfig.mmt_fxr(),
+                    build.job(),
+                    start_delays=[0, delay],
+                )
+                stats = mmt.run()
+                ident = stats.identified_breakdown()
+                row[f"{app} speedup"] = base_cycles / stats.cycles
+                row[f"{app} exec-id"] = (
+                    ident["exec_identical"] + ident["exec_identical_regmerge"]
+                )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — scheduling skew (§4.4 gang scheduling)",
+        format_table(
+            rows,
+            columns=["skew_cycles"]
+            + [f"{app} {k}" for app in apps for k in ("speedup", "exec-id")],
+        ),
+    )
+    by_delay = {row["skew_cycles"]: row for row in rows}
+    # Aligned starts must merge far more than heavily skewed ones.
+    assert by_delay[0]["ammp exec-id"] > 2 * by_delay[400]["ammp exec-id"]
+
+
+def test_ablation_merge_read_ports(benchmark, scale):
+    """§4.2.7 bounds register merging by spare register-file read ports;
+    sweep the budget to see how port-starved the repairs are."""
+    def sweep():
+        rows = []
+        for ports in (1, 2, 4, 8):
+            config = dataclasses.replace(
+                MMTConfig.mmt_fxr(), merge_read_ports=ports
+            )
+            speeds = {app: _speedup(app, config, scale) for app in APPS}
+            rows.append(
+                {"read_ports": ports, **speeds,
+                 "geomean": geomean(speeds.values())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — register-merge read ports (§4.2.7)",
+        format_table(rows, columns=["read_ports"] + APPS + ["geomean"]),
+    )
+    speeds = [row["geomean"] for row in rows]
+    # More ports never hurt; the default (2) captures most of the benefit.
+    assert speeds[-1] >= speeds[0] - 0.03

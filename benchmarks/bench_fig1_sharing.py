@@ -1,0 +1,42 @@
+"""Figure 1: breakdown of instruction-sharing characteristics.
+
+Profiles every application's functional traces pairwise and reports the
+execute-identical / fetch-identical-only / not-identical split, alongside
+the paper's values.  Headline targets: ~88% fetch-identical and ~35%
+execute-identical on average.
+"""
+
+from conftest import emit
+
+from repro.harness import fig1_sharing, format_table
+
+
+def test_fig1_sharing_breakdown(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig1_sharing(scale=scale), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 1 — Instruction sharing characteristics",
+        format_table(
+            rows,
+            columns=[
+                "app",
+                "execute_identical",
+                "fetch_identical_only",
+                "not_identical",
+                "paper_execute_identical",
+                "paper_fetch_identical",
+            ],
+            headers=[
+                "app", "exec-id", "fetch-only", "not-id",
+                "paper exec", "paper fetch",
+            ],
+        ),
+    )
+    average = rows[-1]
+    assert average["app"] == "average"
+    # Shape targets from the paper's motivation study.
+    assert average["execute_identical"] > 0.25
+    assert average["not_identical"] < 0.25
+    fetch_total = average["execute_identical"] + average["fetch_identical_only"]
+    assert fetch_total > 0.70

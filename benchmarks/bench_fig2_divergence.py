@@ -1,0 +1,31 @@
+"""Figure 2: distribution of divergent-path length differences.
+
+For each application, the cumulative fraction of divergences whose two
+paths differ by at most 16/32/.../512 taken branches.  Paper shape: all
+programs except equake and vortex have >85% of divergences within 16 taken
+branches — short taken-branch history (the FHB) suffices for remerging.
+"""
+
+from conftest import emit
+
+from repro.harness import fig2_divergence, format_table
+from repro.profiling.divergence import FIG2_BUCKETS
+
+
+def test_fig2_divergence_histogram(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig2_divergence(scale=scale), rounds=1, iterations=1
+    )
+    columns = ["app"] + [f"<={b}" for b in FIG2_BUCKETS]
+    emit(
+        "Figure 2 — Divergent path length difference (taken branches, cumulative)",
+        format_table(rows, columns=columns, float_format="{:.2f}"),
+    )
+    within16 = {row["app"]: row["<=16"] for row in rows}
+    hard = {"equake", "vortex"}
+    easy_apps = [app for app in within16 if app not in hard]
+    # Paper: >85% within 16 taken branches for all but equake/vortex.
+    good = sum(1 for app in easy_apps if within16[app] >= 0.85)
+    assert good >= len(easy_apps) * 0.7
+    # The two long-tail applications must actually show a long tail.
+    assert within16["equake"] < 0.85 or within16["vortex"] < 0.85

@@ -1,0 +1,31 @@
+"""Figure 7(c): fetch-mode breakdown as the FHB size varies.
+
+Paper shape: larger FHBs capture merge points a small FHB misses (more
+MERGE time for equake/ocean/lu/fft/water-ns) but can also lengthen
+CATCHUP for twolf/vortex/vpr/water-sp.
+"""
+
+from conftest import emit
+
+from repro.harness import FHB_SIZES, fig7c_fhb_modes, format_table
+
+APPS = ["equake", "vortex", "lu", "fft", "water-sp", "twolf"]
+
+
+def test_fig7c_fhb_mode_breakdown(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig7c_fhb_modes(apps=APPS, scale=scale), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 7(c) — Fetch modes vs FHB size (MMT-FXR, 2 threads)",
+        format_table(
+            rows,
+            columns=["app", "fhb_size", "merge", "detect", "catchup"],
+            float_format="{:.2f}",
+        ),
+    )
+    for row in rows:
+        total = row["merge"] + row["detect"] + row["catchup"]
+        assert abs(total - 1.0) < 1e-9
+    # Every (app, size) point ran; 6 apps x 5 sizes.
+    assert len(rows) == len(APPS) * len(FHB_SIZES)

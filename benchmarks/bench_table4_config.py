@@ -1,0 +1,26 @@
+"""Tables 4 and 5: simulator configuration and evaluated configurations."""
+
+from conftest import emit
+
+from repro.harness import format_pairs, table4_configuration, table5_configurations
+
+
+def test_table4_simulator_configuration(benchmark):
+    rows = benchmark.pedantic(table4_configuration, rounds=1, iterations=1)
+    emit("Table 4 — Simulator configuration", format_pairs(rows))
+    as_dict = dict(rows)
+    assert as_dict["Threads"] == "4"
+    assert as_dict["Issue/Commit Width"] == "8/8"
+    assert as_dict["ROB Size"] == "256"
+    assert as_dict["LSQ Size"] == "64"
+    assert as_dict["ALU/FPU units"] == "6/3"
+    assert as_dict["BTB/RAS Size"] == "2048/16"
+    assert "1024" in as_dict["Branch Predictor"]
+    assert as_dict["DRAM Latency"] == "200"
+
+
+def test_table5_mmt_configurations(benchmark):
+    rows = benchmark.pedantic(table5_configurations, rounds=1, iterations=1)
+    emit("Table 5 — MMT and baseline configurations", format_pairs(rows))
+    names = [name for name, _ in rows]
+    assert names == ["Base", "MMT-F", "MMT-FX", "MMT-FXR", "Limit"]

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints it
+in the paper's layout.  Set ``REPRO_BENCH_SCALE`` to shrink or grow the
+workloads (default 1.0 — the calibrated size); completed simulations are
+memoised across benchmarks within one pytest session, so figures that
+share runs (5(a)/5(b)/5(d)/6) only simulate each point once.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Subset used by the machine-parameter sweeps (Figures 7(b)/(d)) to keep
+#: wall time reasonable; spans both workload categories and both ends of
+#: the sharing spectrum.
+SWEEP_APPS = [
+    "ammp", "mcf", "twolf", "vpr",
+    "lu", "water-sp", "blackscholes", "canneal",
+]
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table/figure under a banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Energy report: the Figure 6 story for a few applications.
+
+Energy per job for SMT vs MMT at two and four threads, normalised to the
+two-thread SMT, with the cache / MMT-overhead / other split.  Shows the
+paper's two observations: the MMT structures' overhead is negligible, and
+total energy drops because merged instructions mean fewer cache accesses,
+register file ports, and executed operations.
+
+Run:  python examples/energy_report.py [app ...]
+"""
+
+import sys
+
+from repro.harness import fig6_energy, format_table
+
+DEFAULT_APPS = ["ammp", "mcf", "water-sp", "vpr"]
+
+
+def main() -> None:
+    apps = sys.argv[1:] or DEFAULT_APPS
+    rows = fig6_energy(apps=apps)
+
+    flat = []
+    for row in rows:
+        if row["app"] == "geomean":
+            continue
+        for label in ("SMT-2T", "MMT-2T", "SMT-4T", "MMT-4T"):
+            bar = row[label]
+            flat.append(
+                {
+                    "app": row["app"],
+                    "bar": label,
+                    "cache": bar["cache"],
+                    "mmt overhead": bar["mmt_overhead"],
+                    "other": bar["other"],
+                    "total": bar["total"],
+                }
+            )
+    print(
+        format_table(
+            flat,
+            columns=["app", "bar", "cache", "mmt overhead", "other", "total"],
+            title="Energy per job, normalised to SMT-2T (Figure 6)",
+        )
+    )
+    geo = rows[-1]
+    print()
+    print(
+        f"geomean MMT-4T / SMT-4T: "
+        f"{geo['MMT-4T']['total'] / geo['SMT-4T']['total']:.2f} (paper ~0.66)"
+    )
+    print("MMT overhead stays below a few percent of total energy — the")
+    print("FHB is only searched outside MERGE mode and the LVIP only on")
+    print("merged-mode loads, exactly as the paper gates them.")
+
+
+if __name__ == "__main__":
+    main()

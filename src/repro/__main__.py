@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate paper tables/figures from the shell."""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Branch prediction: two-level predictor, BTB, RAS, trace-cache model."""
+
+from repro.branch.btb import BTB
+from repro.branch.predictor import TwoLevelPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.trace_cache import TraceCacheModel
+
+__all__ = ["BTB", "TwoLevelPredictor", "ReturnAddressStack", "TraceCacheModel"]

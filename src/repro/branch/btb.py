@@ -1,0 +1,32 @@
+"""Branch Target Buffer: 2048 entries, direct mapped (paper Table 4)."""
+
+from __future__ import annotations
+
+
+class BTB:
+    """PC -> predicted target map with tag check."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self._targets = [0] * entries
+        self.lookups = 0
+        self.hits = 0
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for a control instruction at *pc*, if cached."""
+        self.lookups += 1
+        index = pc & self._mask
+        if self._tags[index] == pc:
+            self.hits += 1
+            return self._targets[index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved *target* of the control instruction at *pc*."""
+        index = pc & self._mask
+        self._tags[index] = pc
+        self._targets[index] = target

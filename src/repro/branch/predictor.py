@@ -1,0 +1,60 @@
+"""Two-level adaptive branch predictor (paper Table 4).
+
+A gshare-style two-level scheme: per-context global history registers
+(history length 10) index a shared 1024-entry pattern history table of
+2-bit saturating counters, XOR-folded with the branch PC.  The PHT is
+shared between hardware contexts, as on real SMT cores — merged MMT
+fetches consult it once for the whole thread group.
+"""
+
+from __future__ import annotations
+
+
+class TwoLevelPredictor:
+    """GAg/gshare two-level predictor with per-context history."""
+
+    def __init__(
+        self,
+        pht_entries: int = 1024,
+        history_length: int = 10,
+        num_contexts: int = 4,
+    ) -> None:
+        if pht_entries & (pht_entries - 1):
+            raise ValueError("PHT entries must be a power of two")
+        self.pht_entries = pht_entries
+        self.history_length = history_length
+        self._history_mask = (1 << history_length) - 1
+        self._index_mask = pht_entries - 1
+        self._pht = [1] * pht_entries  # weakly not-taken
+        self._histories = [0] * num_contexts
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int, tid: int) -> int:
+        return (pc ^ self._histories[tid]) & self._index_mask
+
+    def predict(self, pc: int, tid: int) -> bool:
+        """Predict taken/not-taken for the branch at *pc* in context *tid*."""
+        self.lookups += 1
+        return self._pht[self._index(pc, tid)] >= 2
+
+    def update(self, pc: int, tid: int, taken: bool, predicted: bool) -> None:
+        """Train the counter and shift the context's history register."""
+        index = self._index(pc, tid)
+        counter = self._pht[index]
+        if taken:
+            if counter < 3:
+                self._pht[index] = counter + 1
+        else:
+            if counter > 0:
+                self._pht[index] = counter - 1
+        self._histories[tid] = (
+            (self._histories[tid] << 1) | (1 if taken else 0)
+        ) & self._history_mask
+        if taken != predicted:
+            self.mispredicts += 1
+
+    def sync_history(self, src_tid: int, dst_tid: int) -> None:
+        """Copy *src_tid*'s history into *dst_tid* (used when threads remerge,
+        so the merged group predicts with one coherent history)."""
+        self._histories[dst_tid] = self._histories[src_tid]

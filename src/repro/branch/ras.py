@@ -1,0 +1,33 @@
+"""Return Address Stack: 16 entries per context (paper Table 4)."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, return_pc: int) -> None:
+        """Record a call's return address (on JAL)."""
+        self.pushes += 1
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+
+    def pop(self) -> int | None:
+        """Predict the target of a return (JR ra); None when empty."""
+        self.pops += 1
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def copy_from(self, other: "ReturnAddressStack") -> None:
+        """Clone another context's stack (used at thread remerge)."""
+        self._stack = list(other._stack)

@@ -1,0 +1,42 @@
+"""The MMT contribution: ITIDs, fetch sync, RST, splitter, LVIP, merging."""
+
+from repro.core.config import MMTConfig, WorkloadType
+from repro.core.fhb import FetchHistoryBuffer
+from repro.core.itid import (
+    MAX_THREADS,
+    PAIRS,
+    first_thread,
+    itid_str,
+    pair_bit,
+    popcount,
+    single,
+    threads_of,
+)
+from repro.core.lvip import LoadValuesIdenticalPredictor
+from repro.core.regmerge import RegisterMergeUnit
+from repro.core.rst import RegisterSharingTable
+from repro.core.splitter import SplitDecision, split_itid
+from repro.core.sync import FetchMode, SyncController, SyncStats, ThreadGroup
+
+__all__ = [
+    "MMTConfig",
+    "WorkloadType",
+    "FetchHistoryBuffer",
+    "MAX_THREADS",
+    "PAIRS",
+    "first_thread",
+    "itid_str",
+    "pair_bit",
+    "popcount",
+    "single",
+    "threads_of",
+    "LoadValuesIdenticalPredictor",
+    "RegisterMergeUnit",
+    "RegisterSharingTable",
+    "SplitDecision",
+    "split_itid",
+    "FetchMode",
+    "SyncController",
+    "SyncStats",
+    "ThreadGroup",
+]

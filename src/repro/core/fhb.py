@@ -1,0 +1,55 @@
+"""Fetch History Buffer (paper §4.1, Figure 3(b)).
+
+One per hardware thread: a small CAM holding the target PCs of the last N
+taken branches the thread fetched while in DETECT or CATCHUP mode.  Other
+threads CAM-search it every taken branch to detect a potential remerge
+point.  The 32-entry default is the paper's chosen design point; Figure
+7(a)/(c) sweep it from 8 to 128.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FetchHistoryBuffer:
+    """Circular CAM of recent taken-branch target PCs."""
+
+    def __init__(self, size: int = 32) -> None:
+        if size < 1:
+            raise ValueError("FHB size must be positive")
+        self.size = size
+        self._fifo: deque[int] = deque()
+        self._counts: dict[int, int] = {}
+        self.records = 0
+        self.searches = 0
+        self.search_hits = 0
+
+    def record(self, target_pc: int) -> None:
+        """Insert a taken-branch target, evicting the oldest when full."""
+        self.records += 1
+        if len(self._fifo) >= self.size:
+            old = self._fifo.popleft()
+            count = self._counts[old] - 1
+            if count:
+                self._counts[old] = count
+            else:
+                del self._counts[old]
+        self._fifo.append(target_pc)
+        self._counts[target_pc] = self._counts.get(target_pc, 0) + 1
+
+    def contains(self, target_pc: int) -> bool:
+        """CAM search for *target_pc*."""
+        self.searches += 1
+        hit = target_pc in self._counts
+        if hit:
+            self.search_hits += 1
+        return hit
+
+    def clear(self) -> None:
+        """Flush all entries (on remerge, the joint path starts fresh)."""
+        self._fifo.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._fifo)

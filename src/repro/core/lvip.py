@@ -1,0 +1,49 @@
+"""Load Values Identical Predictor (paper §4.2.5).
+
+Multi-execution workloads share no memory, so a load whose *inputs* are
+identical across instances may still return different values.  The LVIP
+predicts whether such a load will return identical values in all instances:
+it is a PC-indexed table of loads that have previously *mispredicted*
+(returned differing values); any load not in the table is predicted
+identical — the optimistic default the paper chose based on the load-value
+similarity observed in multi-execution workloads [Biswas et al., ISCA'09].
+
+The paper sizes it at 4K entries of 4 bytes (Table 3/4).
+"""
+
+from __future__ import annotations
+
+
+class LoadValuesIdenticalPredictor:
+    """Direct-mapped PC-tagged table of previously mispredicted loads."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries & (entries - 1):
+            raise ValueError("LVIP entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self.predictions = 0
+        self.predicted_identical = 0
+        self.mispredictions = 0
+
+    def predict_identical(self, pc: int) -> bool:
+        """Predict whether the load at *pc* returns identical values."""
+        self.predictions += 1
+        identical = self._tags[pc & self._mask] != pc
+        if identical:
+            self.predicted_identical += 1
+        return identical
+
+    def record_mispredict(self, pc: int) -> None:
+        """The load at *pc* returned differing values: remember it."""
+        self.mispredictions += 1
+        self._tags[pc & self._mask] = pc
+
+    def record_identical(self, pc: int) -> None:
+        """The load at *pc* returned identical values.
+
+        Entries are sticky: a load that ever differed stays predicted
+        "different" (conservative — a wrong "different" costs only the merge
+        opportunity, never a rollback).
+        """

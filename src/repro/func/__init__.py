@@ -1,0 +1,14 @@
+"""Functional execution: architectural state and the exact executor/oracle."""
+
+from repro.func.executor import Executed, ExecutionError, FunctionalExecutor, to_s64
+from repro.func.state import DEFAULT_STACK_TOP, STACK_STRIDE, ArchState
+
+__all__ = [
+    "Executed",
+    "ExecutionError",
+    "FunctionalExecutor",
+    "to_s64",
+    "ArchState",
+    "DEFAULT_STACK_TOP",
+    "STACK_STRIDE",
+]

@@ -1,0 +1,256 @@
+"""Functional (architecturally exact) execution of repro-ISA programs.
+
+The :class:`FunctionalExecutor` advances one :class:`ArchState` one
+instruction at a time and emits an :class:`Executed` record per step.  It is
+used in three roles:
+
+1. stand-alone, for trace capture and the profiling study (Figures 1 and 2);
+2. as the per-thread *oracle* that the cycle-level pipeline runs at fetch to
+   obtain the correct-path stream and true branch outcomes;
+3. as a reference for the pipeline's built-in value self-check: the detailed
+   machine asserts that values computed through (possibly merged) physical
+   registers match the oracle's values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.func.state import ArchState
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def to_s64(value: int) -> int:
+    """Wrap *value* to signed 64-bit two's-complement."""
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program performs an architecturally invalid operation."""
+
+
+class Executed:
+    """Record of one dynamically executed instruction."""
+
+    __slots__ = (
+        "pc",
+        "inst",
+        "src_vals",
+        "result",
+        "addr",
+        "store_val",
+        "taken",
+        "next_pc",
+        "tid",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        inst: Instruction,
+        src_vals: tuple,
+        result,
+        addr: int | None,
+        store_val,
+        taken: bool | None,
+        next_pc: int,
+        tid: int,
+    ) -> None:
+        self.pc = pc
+        self.inst = inst
+        self.src_vals = src_vals
+        self.result = result
+        self.addr = addr
+        self.store_val = store_val
+        self.taken = taken
+        self.next_pc = next_pc
+        self.tid = tid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Executed t{self.tid} pc={self.pc} {self.inst!r} -> {self.result!r}>"
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0  # architected: division by zero yields zero (no trap)
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _int_rem(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _int_div(a, b) * b
+
+
+class FunctionalExecutor:
+    """Steps an :class:`ArchState` through its program."""
+
+    def __init__(self, state: ArchState) -> None:
+        self.state = state
+        self.instret = 0
+
+    def step(self) -> Executed:
+        """Execute one instruction; returns its :class:`Executed` record."""
+        state = self.state
+        if state.halted:
+            raise ExecutionError(f"context {state.tid} stepped after HALT")
+        pc = state.pc
+        program = state.program
+        if not 0 <= pc < len(program):
+            raise ExecutionError(f"context {state.tid}: PC {pc} out of range")
+        inst = program.instructions[pc]
+        regs = state.regs
+        op = inst.op
+
+        result = None
+        addr: int | None = None
+        store_val = None
+        taken: bool | None = None
+        next_pc = pc + 1
+
+        if op is Opcode.ADD:
+            result = to_s64(regs[inst.rs1] + regs[inst.rs2])
+        elif op is Opcode.ADDI:
+            result = to_s64(regs[inst.rs1] + inst.imm)
+        elif op is Opcode.SUB:
+            result = to_s64(regs[inst.rs1] - regs[inst.rs2])
+        elif op is Opcode.MUL:
+            result = to_s64(regs[inst.rs1] * regs[inst.rs2])
+        elif op is Opcode.DIV:
+            result = to_s64(_int_div(regs[inst.rs1], regs[inst.rs2]))
+        elif op is Opcode.REM:
+            result = to_s64(_int_rem(regs[inst.rs1], regs[inst.rs2]))
+        elif op is Opcode.AND:
+            result = to_s64(regs[inst.rs1] & regs[inst.rs2])
+        elif op is Opcode.ANDI:
+            result = to_s64(regs[inst.rs1] & inst.imm)
+        elif op is Opcode.OR:
+            result = to_s64(regs[inst.rs1] | regs[inst.rs2])
+        elif op is Opcode.ORI:
+            result = to_s64(regs[inst.rs1] | inst.imm)
+        elif op is Opcode.XOR:
+            result = to_s64(regs[inst.rs1] ^ regs[inst.rs2])
+        elif op is Opcode.XORI:
+            result = to_s64(regs[inst.rs1] ^ inst.imm)
+        elif op is Opcode.SLL:
+            result = to_s64(regs[inst.rs1] << (regs[inst.rs2] & 63))
+        elif op is Opcode.SLLI:
+            result = to_s64(regs[inst.rs1] << (inst.imm & 63))
+        elif op is Opcode.SRL:
+            result = to_s64((regs[inst.rs1] & _MASK64) >> (regs[inst.rs2] & 63))
+        elif op is Opcode.SRLI:
+            result = to_s64((regs[inst.rs1] & _MASK64) >> (inst.imm & 63))
+        elif op is Opcode.SRA:
+            result = to_s64(regs[inst.rs1] >> (regs[inst.rs2] & 63))
+        elif op is Opcode.SLT:
+            result = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+        elif op is Opcode.SLTI:
+            result = 1 if regs[inst.rs1] < inst.imm else 0
+        elif op is Opcode.SEQ:
+            result = 1 if regs[inst.rs1] == regs[inst.rs2] else 0
+        elif op is Opcode.LI:
+            result = to_s64(inst.imm)
+        elif op is Opcode.FLI:
+            result = float(inst.imm)
+        elif op is Opcode.FADD:
+            result = float(regs[inst.rs1]) + float(regs[inst.rs2])
+        elif op is Opcode.FSUB:
+            result = float(regs[inst.rs1]) - float(regs[inst.rs2])
+        elif op is Opcode.FMUL:
+            result = float(regs[inst.rs1]) * float(regs[inst.rs2])
+        elif op is Opcode.FDIV:
+            divisor = float(regs[inst.rs2])
+            result = float(regs[inst.rs1]) / divisor if divisor != 0.0 else 0.0
+        elif op is Opcode.FSQRT:
+            operand = float(regs[inst.rs1])
+            result = math.sqrt(operand) if operand >= 0.0 else 0.0
+        elif op is Opcode.FNEG:
+            result = -float(regs[inst.rs1])
+        elif op is Opcode.FABS:
+            result = abs(float(regs[inst.rs1]))
+        elif op is Opcode.FMIN:
+            result = min(float(regs[inst.rs1]), float(regs[inst.rs2]))
+        elif op is Opcode.FMAX:
+            result = max(float(regs[inst.rs1]), float(regs[inst.rs2]))
+        elif op is Opcode.FCVT:
+            result = float(regs[inst.rs1])
+        elif op is Opcode.FTOI:
+            result = to_s64(int(regs[inst.rs1]))
+        elif op is Opcode.FSLT:
+            result = 1 if float(regs[inst.rs1]) < float(regs[inst.rs2]) else 0
+        elif op is Opcode.FSEQ:
+            result = 1 if float(regs[inst.rs1]) == float(regs[inst.rs2]) else 0
+        elif op is Opcode.LW or op is Opcode.FLW:
+            addr = to_s64(regs[inst.rs1] + inst.imm)
+            result = state.memory.load(addr)
+        elif op is Opcode.SW or op is Opcode.FSW:
+            addr = to_s64(regs[inst.rs1] + inst.imm)
+            store_val = regs[inst.rs2]
+            state.memory.store(addr, store_val)
+        elif op is Opcode.BEQ:
+            taken = regs[inst.rs1] == regs[inst.rs2]
+        elif op is Opcode.BNE:
+            taken = regs[inst.rs1] != regs[inst.rs2]
+        elif op is Opcode.BLT:
+            taken = regs[inst.rs1] < regs[inst.rs2]
+        elif op is Opcode.BGE:
+            taken = regs[inst.rs1] >= regs[inst.rs2]
+        elif op is Opcode.J:
+            taken = True
+            next_pc = inst.target
+        elif op is Opcode.JAL:
+            taken = True
+            result = pc + 1
+            next_pc = inst.target
+        elif op is Opcode.JR:
+            taken = True
+            next_pc = regs[inst.rs1]
+        elif op is Opcode.SEND:
+            if state.channels is None:
+                raise ExecutionError("SEND outside a message-passing job")
+            state.channels.send(regs[inst.rs1], regs[inst.rs2])
+        elif op is Opcode.TRECV:
+            if state.channels is None:
+                raise ExecutionError("TRECV outside a message-passing job")
+            message = state.channels.try_recv(regs[inst.rs1])
+            result = -1 if message is None else message
+        elif op is Opcode.TID:
+            result = state.tid
+        elif op is Opcode.NCTX:
+            result = state.nctx
+        elif op is Opcode.NOP or op is Opcode.HINT:
+            pass
+        elif op is Opcode.HALT:
+            state.halted = True
+            next_pc = pc
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        if taken and inst.is_branch:
+            next_pc = inst.target
+
+        src_vals = tuple(regs[r] for r in inst.srcs)
+        if inst.dst is not None:
+            regs[inst.dst] = result
+        state.pc = next_pc
+        self.instret += 1
+        return Executed(
+            pc, inst, src_vals, result, addr, store_val, taken, next_pc, state.tid
+        )
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run until HALT (or *max_steps*); returns instructions retired."""
+        start = self.instret
+        while not self.state.halted:
+            if self.instret - start >= max_steps:
+                raise ExecutionError(
+                    f"context {self.state.tid} exceeded {max_steps} steps"
+                )
+            self.step()
+        return self.instret - start

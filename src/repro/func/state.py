@@ -1,0 +1,56 @@
+"""Per-context architectural state for functional execution."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, SP
+from repro.mem.memory import AddressSpace
+
+#: Default stack top for context 0; each context's stack is offset below it.
+DEFAULT_STACK_TOP = 0x8000_0000
+#: Bytes of stack reserved per context in a shared address space.
+STACK_STRIDE = 0x10_0000
+
+
+class ArchState:
+    """Architectural registers + PC for one hardware context.
+
+    ``tid`` is the hardware context id (0..3); ``nctx`` the number of
+    contexts in the job — both readable through the TID/NCTX instructions.
+    """
+
+    __slots__ = (
+        "program", "memory", "regs", "pc", "halted", "tid", "nctx", "channels"
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        memory: AddressSpace,
+        tid: int = 0,
+        nctx: int = 1,
+        stack_top: int | None = None,
+        channels=None,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.regs: list[int | float] = [0] * NUM_ARCH_REGS
+        if stack_top is None:
+            stack_top = DEFAULT_STACK_TOP - tid * STACK_STRIDE
+        self.regs[SP] = stack_top
+        self.pc = program.entry
+        self.halted = False
+        self.tid = tid
+        self.nctx = nctx
+        #: Message network shared by the job (message-passing workloads).
+        self.channels = channels
+
+    def copy_registers_from(self, other: "ArchState") -> None:
+        """Make this context's registers identical to *other*'s.
+
+        Multi-execution workloads start all instances with identical register
+        files (the inputs differ only in memory); the Limit configuration
+        clones context 0 entirely.
+        """
+        self.regs = list(other.regs)
+        self.pc = other.pc

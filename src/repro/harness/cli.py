@@ -1,0 +1,245 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig5a                # Figure 5(a), paper layout
+    python -m repro fig6 --scale 0.5     # faster, smaller workloads
+    python -m repro fig1 --apps ammp vpr
+
+Each target prints the same report the corresponding benchmark emits, but
+without pytest in the loop — convenient for exploring one result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures, report
+from repro.profiling.divergence import FIG2_BUCKETS
+
+
+def _fig1(args) -> str:
+    rows = figures.fig1_sharing(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=[
+            "app", "execute_identical", "fetch_identical_only", "not_identical",
+            "paper_execute_identical", "paper_fetch_identical",
+        ],
+        headers=["app", "exec-id", "fetch-only", "not-id", "paper exec",
+                 "paper fetch"],
+        title="Figure 1 — Instruction sharing characteristics",
+    )
+
+
+def _fig2(args) -> str:
+    rows = figures.fig2_divergence(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=["app"] + [f"<={b}" for b in FIG2_BUCKETS],
+        float_format="{:.2f}",
+        title="Figure 2 — Divergent path length difference (cumulative)",
+    )
+
+
+def _fig5(threads):
+    def run(args) -> str:
+        rows = figures.fig5_speedups(threads, apps=args.apps, scale=args.scale)
+        label = "a" if threads == 2 else "c"
+        return report.format_table(
+            rows,
+            columns=["app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit"],
+            title=f"Figure 5({label}) — Speedup over {threads}-thread SMT",
+        )
+
+    return run
+
+
+def _fig5b(args) -> str:
+    rows = figures.fig5b_identified(2, apps=args.apps, scale=args.scale)
+    return report.format_stacked_bars(
+        rows,
+        "app",
+        ["exec_identical", "exec_identical_regmerge", "fetch_identical",
+         "not_identical"],
+        title="Figure 5(b) — Identified identical instructions (MMT-FXR)",
+    )
+
+
+def _fig5d(args) -> str:
+    rows = figures.fig5d_modes(2, apps=args.apps, scale=args.scale)
+    return report.format_stacked_bars(
+        rows,
+        "app",
+        ["merge", "detect", "catchup"],
+        title="Figure 5(d) — Instruction breakdown by fetch mode (MMT-FXR)",
+    )
+
+
+def _fig6(args) -> str:
+    rows = figures.fig6_energy(apps=args.apps, scale=args.scale)
+    flat = []
+    for row in rows:
+        for label in ("SMT-2T", "MMT-2T", "SMT-4T", "MMT-4T"):
+            bar = row[label]
+            flat.append(
+                {"app": row["app"], "bar": label, "cache": bar["cache"],
+                 "overhead": bar["mmt_overhead"], "other": bar["other"],
+                 "total": bar["total"]}
+            )
+    return report.format_table(
+        flat,
+        columns=["app", "bar", "cache", "overhead", "other", "total"],
+        title="Figure 6 — Energy per job, normalised to SMT-2T",
+    )
+
+
+def _fig7a(args) -> str:
+    rows = figures.fig7a_fhb_speedup(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=["app"] + list(figures.FHB_SIZES),
+        title="Figure 7(a) — Speedup vs FHB size",
+    )
+
+
+def _fig7b(args) -> str:
+    rows = figures.fig7b_ports(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=["ldst_ports", "geomean_speedup"],
+        title="Figure 7(b) — Speedup vs load/store ports",
+    )
+
+
+def _fig7c(args) -> str:
+    rows = figures.fig7c_fhb_modes(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=["app", "fhb_size", "merge", "detect", "catchup"],
+        float_format="{:.2f}",
+        title="Figure 7(c) — Fetch modes vs FHB size",
+    )
+
+
+def _fig7d(args) -> str:
+    rows = figures.fig7d_fetch_width(apps=args.apps, scale=args.scale)
+    return report.format_table(
+        rows,
+        columns=["fetch_width", "geomean_speedup"],
+        title="Figure 7(d) — Speedup vs fetch width",
+    )
+
+
+def _table3(args) -> str:
+    return report.format_table(
+        figures.table3_hardware(),
+        columns=["component", "description", "area", "delay", "storage_bits"],
+        title="Table 3 — Hardware requirements",
+    )
+
+
+def _table4(args) -> str:
+    return report.format_pairs(
+        figures.table4_configuration(), title="Table 4 — Simulator configuration"
+    )
+
+
+def _table5(args) -> str:
+    return report.format_pairs(
+        figures.table5_configurations(), title="Table 5 — Configurations"
+    )
+
+
+TARGETS = {
+    "fig1": (_fig1, "instruction-sharing breakdown"),
+    "fig2": (_fig2, "divergent-path-length histogram"),
+    "fig5a": (_fig5(2), "speedups, 2 threads"),
+    "fig5b": (_fig5b, "identified identical instructions"),
+    "fig5c": (_fig5(4), "speedups, 4 threads"),
+    "fig5d": (_fig5d, "fetch-mode breakdown"),
+    "fig6": (_fig6, "energy per job"),
+    "fig7a": (_fig7a, "FHB size sweep (speedup)"),
+    "fig7b": (_fig7b, "load/store port sweep"),
+    "fig7c": (_fig7c, "FHB size sweep (fetch modes)"),
+    "fig7d": (_fig7d, "fetch width sweep"),
+    "table3": (_table3, "hardware budget"),
+    "table4": (_table4, "simulator configuration"),
+    "table5": (_table5, "evaluated configurations"),
+}
+
+
+ROW_SOURCES = {
+    "fig1": lambda a: figures.fig1_sharing(apps=a.apps, scale=a.scale),
+    "fig2": lambda a: figures.fig2_divergence(apps=a.apps, scale=a.scale),
+    "fig5a": lambda a: figures.fig5_speedups(2, apps=a.apps, scale=a.scale),
+    "fig5b": lambda a: figures.fig5b_identified(2, apps=a.apps, scale=a.scale),
+    "fig5c": lambda a: figures.fig5_speedups(4, apps=a.apps, scale=a.scale),
+    "fig5d": lambda a: figures.fig5d_modes(2, apps=a.apps, scale=a.scale),
+    "fig6": lambda a: figures.fig6_energy(apps=a.apps, scale=a.scale),
+    "fig7a": lambda a: figures.fig7a_fhb_speedup(apps=a.apps, scale=a.scale),
+    "fig7b": lambda a: figures.fig7b_ports(apps=a.apps, scale=a.scale),
+    "fig7c": lambda a: figures.fig7c_fhb_modes(apps=a.apps, scale=a.scale),
+    "fig7d": lambda a: figures.fig7d_fetch_width(apps=a.apps, scale=a.scale),
+    "table3": lambda a: figures.table3_hardware(),
+    "table4": lambda a: [list(pair) for pair in figures.table4_configuration()],
+    "table5": lambda a: [list(pair) for pair in figures.table5_configurations()],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the MMT paper (MICRO 2010).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(TARGETS) + ["list"],
+        help="which table/figure to regenerate ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = calibrated size)",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="*",
+        default=None,
+        help="restrict to these applications (default: all sixteen)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="additionally dump the figure's data rows as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        width = max(len(name) for name in TARGETS)
+        for name in sorted(TARGETS):
+            print(f"{name.ljust(width)}  {TARGETS[name][1]}")
+        return 0
+    handler, _ = TARGETS[args.target]
+    print(handler(args))
+    if args.json:
+        from repro.harness.results import dump_figure
+
+        # Completed runs are memoised, so this re-invocation is cheap.
+        dump_figure(
+            args.target, ROW_SOURCES[args.target](args), args.json,
+            scale=args.scale,
+        )
+        print(f"\n[rows written to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Experiment runner: build workloads, run configurations, cache results.
+
+Every figure regenerator goes through :func:`run_app`, which memoises
+completed runs per (application, configuration, thread count, machine) so
+that e.g. Figures 5(a), 5(b), 5(d) and 6 — which all need the same MMT-FXR
+runs — simulate each point once per session.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import MMTConfig
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.smt import SMTCore
+from repro.pipeline.stats import SimStats
+from repro.power.model import energy_of_run
+from repro.power.params import EnergyBreakdown, EnergyParams
+from repro.workloads.generator import WorkloadBuild, build_workload
+from repro.workloads.profiles import APP_ORDER, get_profile
+
+
+@dataclass
+class RunResult:
+    """One completed simulation."""
+
+    app: str
+    config: MMTConfig
+    threads: int
+    stats: SimStats
+    energy: EnergyBreakdown
+    sync_stats: object
+    build: WorkloadBuild
+    outputs: list = field(repr=False, default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised runs (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def run_app(
+    app: str,
+    config: MMTConfig,
+    threads: int,
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    strict: bool = True,
+    use_cache: bool = True,
+) -> RunResult:
+    """Simulate *app* under *config* with *threads* hardware contexts."""
+    machine = machine or MachineConfig(num_threads=threads)
+    if machine.num_threads < threads:
+        machine = machine.with_threads(threads)
+    key = (app, config, threads, machine, scale, strict)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    build = build_workload(get_profile(app), threads, scale=scale)
+    job = build.limit_job() if config.limit_identical else build.job()
+    core = SMTCore(machine, config, job, strict=strict)
+    stats = core.run()
+    result = RunResult(
+        app=app,
+        config=config,
+        threads=threads,
+        stats=stats,
+        energy=energy_of_run(core, EnergyParams()),
+        sync_stats=core.sync.stats,
+        build=build,
+        outputs=build.output_region(job),
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def speedup_over_base(
+    app: str,
+    config: MMTConfig,
+    threads: int,
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+) -> float:
+    """Cycles(Base) / cycles(*config*) at the same thread count."""
+    base = run_app(app, MMTConfig.base(), threads, machine, scale)
+    other = run_app(app, config, threads, machine, scale)
+    return base.cycles / other.cycles
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def default_apps() -> list[str]:
+    """All sixteen applications in the paper's Table 1 order."""
+    return list(APP_ORDER)

@@ -1,0 +1,292 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each function returns plain data structures (lists of dicts) so callers —
+the benchmark harness, the examples, tests — can print, assert, or plot
+them.  ``repro.harness.report`` renders them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MMTConfig
+from repro.core.sync import FetchMode
+from repro.harness.experiment import (
+    default_apps,
+    geomean,
+    run_app,
+    speedup_over_base,
+)
+from repro.pipeline.config import MachineConfig
+from repro.power.budget import hardware_budget
+from repro.profiling.divergence import divergence_histogram
+from repro.profiling.sharing import analyze_job
+from repro.profiling.tracing import capture_job_traces
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import get_profile
+
+#: Thread count used for the motivation study (the paper profiles pairs).
+PROFILE_CONTEXTS = 2
+
+
+# ------------------------------------------------------------------ Figure 1
+def fig1_sharing(apps=None, scale: float = 1.0) -> list[dict]:
+    """Instruction-sharing breakdown per application (paper Figure 1)."""
+    rows = []
+    for app in apps or default_apps():
+        profile = get_profile(app)
+        build = build_workload(profile, PROFILE_CONTEXTS, scale=scale)
+        traces = capture_job_traces(build.job())
+        sharing = analyze_job(traces)
+        exec_frac = sharing.execute_identical_fraction
+        fetch_frac = sharing.fetch_identical_fraction
+        rows.append(
+            {
+                "app": app,
+                "execute_identical": exec_frac,
+                "fetch_identical_only": max(0.0, fetch_frac - exec_frac),
+                "not_identical": max(0.0, 1.0 - fetch_frac),
+                "paper_execute_identical": profile.fig1_exec,
+                "paper_fetch_identical": profile.fig1_fetch,
+                "_gaps": sharing.gaps,
+            }
+        )
+    avg = {
+        "app": "average",
+        "execute_identical": sum(r["execute_identical"] for r in rows) / len(rows),
+        "fetch_identical_only": sum(r["fetch_identical_only"] for r in rows)
+        / len(rows),
+        "not_identical": sum(r["not_identical"] for r in rows) / len(rows),
+        "paper_execute_identical": 0.35,
+        "paper_fetch_identical": 0.88,
+        "_gaps": [],
+    }
+    rows.append(avg)
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 2
+def fig2_divergence(apps=None, scale: float = 1.0) -> list[dict]:
+    """Divergent-path length-difference histogram (paper Figure 2)."""
+    rows = []
+    for row in fig1_sharing(apps, scale=scale):
+        if row["app"] == "average":
+            continue
+        histogram = divergence_histogram(row["_gaps"])
+        rows.append({"app": row["app"], **{f"<={b}": v for b, v in histogram.items()}})
+    return rows
+
+
+# ----------------------------------------------------------- Figures 5(a)/(c)
+def fig5_speedups(
+    threads: int, apps=None, scale: float = 1.0, machine: MachineConfig | None = None
+) -> list[dict]:
+    """Per-application speedups over same-thread-count Base (Fig 5(a)/(c))."""
+    configs = [
+        MMTConfig.mmt_f(),
+        MMTConfig.mmt_fx(),
+        MMTConfig.mmt_fxr(),
+        MMTConfig.limit(),
+    ]
+    rows = []
+    for app in apps or default_apps():
+        row = {"app": app}
+        for config in configs:
+            row[config.name] = speedup_over_base(app, config, threads, machine, scale)
+        rows.append(row)
+    rows.append(
+        {
+            "app": "geomean",
+            **{
+                config.name: geomean(row[config.name] for row in rows)
+                for config in configs
+            },
+        }
+    )
+    return rows
+
+
+# ------------------------------------------------------------- Figure 5(b)
+def fig5b_identified(threads: int = 2, apps=None, scale: float = 1.0) -> list[dict]:
+    """Identified fetch/execute-identical fractions under MMT-FXR."""
+    rows = []
+    for app in apps or default_apps():
+        result = run_app(app, MMTConfig.mmt_fxr(), threads, scale=scale)
+        breakdown = result.stats.identified_breakdown()
+        rows.append({"app": app, **breakdown})
+    return rows
+
+
+# ------------------------------------------------------------- Figure 5(d)
+def fig5d_modes(threads: int = 2, apps=None, scale: float = 1.0) -> list[dict]:
+    """Fetched-instruction breakdown by fetch mode under MMT-FXR."""
+    rows = []
+    for app in apps or default_apps():
+        result = run_app(app, MMTConfig.mmt_fxr(), threads, scale=scale)
+        modes = result.stats.mode_breakdown()
+        rows.append(
+            {
+                "app": app,
+                "merge": modes[FetchMode.MERGE.value],
+                "detect": modes[FetchMode.DETECT.value],
+                "catchup": modes[FetchMode.CATCHUP.value],
+                "remerge_within_512": result.sync_stats.remerge_within(512),
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 6
+def fig6_energy(apps=None, scale: float = 1.0) -> list[dict]:
+    """Energy per job, normalised to SMT with 2 threads (paper Figure 6).
+
+    Four bars per application: SMT-2T, MMT-2T, SMT-4T, MMT-4T, each split
+    into cache / MMT-overhead / other.  Multi-execution doubles the work
+    when doubling threads, multi-threaded splits the same work, so energy
+    is normalised *per job* (per committed thread-instruction).
+    """
+    rows = []
+    for app in apps or default_apps():
+        bars = {}
+        reference = None
+        for threads, config in [
+            (2, MMTConfig.base()),
+            (2, MMTConfig.mmt_fxr()),
+            (4, MMTConfig.base()),
+            (4, MMTConfig.mmt_fxr()),
+        ]:
+            result = run_app(app, config, threads, scale=scale)
+            work = max(1, result.stats.committed_thread_insts)
+            per_job = {
+                "cache": result.energy.cache / work,
+                "mmt_overhead": result.energy.mmt_overhead / work,
+                "other": result.energy.other / work,
+            }
+            per_job["total"] = sum(per_job.values())
+            label = f"{'SMT' if config.name == 'Base' else 'MMT'}-{threads}T"
+            bars[label] = per_job
+            if reference is None:
+                reference = per_job["total"]
+        for bar in bars.values():
+            for key in ("cache", "mmt_overhead", "other", "total"):
+                bar[key] /= reference
+        rows.append({"app": app, **bars})
+    means = {}
+    for label in ("SMT-2T", "MMT-2T", "SMT-4T", "MMT-4T"):
+        means[label] = {
+            "total": geomean(row[label]["total"] for row in rows),
+            "cache": 0.0,
+            "mmt_overhead": 0.0,
+            "other": 0.0,
+        }
+    rows.append({"app": "geomean", **means})
+    return rows
+
+
+# ------------------------------------------------------- Figures 7(a)/(c)
+FHB_SIZES = (8, 16, 32, 64, 128)
+
+
+def fig7a_fhb_speedup(
+    sizes=FHB_SIZES, threads: int = 2, apps=None, scale: float = 1.0
+) -> list[dict]:
+    """Speedup (MMT-FXR over Base) as the FHB size varies (Fig 7(a))."""
+    rows = []
+    for app in apps or default_apps():
+        row = {"app": app}
+        for size in sizes:
+            config = MMTConfig.mmt_fxr().with_fhb_size(size)
+            row[size] = speedup_over_base(app, config, threads, scale=scale)
+        rows.append(row)
+    rows.append(
+        {
+            "app": "geomean",
+            **{size: geomean(row[size] for row in rows) for size in sizes},
+        }
+    )
+    return rows
+
+
+def fig7c_fhb_modes(
+    sizes=FHB_SIZES, threads: int = 2, apps=None, scale: float = 1.0
+) -> list[dict]:
+    """Fetch-mode breakdown as the FHB size varies (Fig 7(c))."""
+    rows = []
+    for app in apps or default_apps():
+        for size in sizes:
+            config = MMTConfig.mmt_fxr().with_fhb_size(size)
+            result = run_app(app, config, threads, scale=scale)
+            modes = result.stats.mode_breakdown()
+            rows.append(
+                {
+                    "app": app,
+                    "fhb_size": size,
+                    "merge": modes[FetchMode.MERGE.value],
+                    "detect": modes[FetchMode.DETECT.value],
+                    "catchup": modes[FetchMode.CATCHUP.value],
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------- Figure 7(b)
+LDST_PORT_COUNTS = (2, 4, 6, 8, 12)
+
+
+def fig7b_ports(
+    ports=LDST_PORT_COUNTS, threads: int = 4, apps=None, scale: float = 1.0
+) -> list[dict]:
+    """Geomean speedup as load/store ports (and MSHRs) vary (Fig 7(b))."""
+    apps = apps or default_apps()
+    rows = []
+    for count in ports:
+        machine = MachineConfig(num_threads=threads).with_ldst_ports(count)
+        speeds = [
+            speedup_over_base(app, MMTConfig.mmt_fxr(), threads, machine, scale)
+            for app in apps
+        ]
+        rows.append({"ldst_ports": count, "geomean_speedup": geomean(speeds)})
+    return rows
+
+
+# ------------------------------------------------------------- Figure 7(d)
+FETCH_WIDTHS = (4, 8, 16, 32)
+
+
+def fig7d_fetch_width(
+    widths=FETCH_WIDTHS, threads: int = 4, apps=None, scale: float = 1.0
+) -> list[dict]:
+    """Geomean speedup as the fetch width varies (Fig 7(d))."""
+    apps = apps or default_apps()
+    rows = []
+    for width in widths:
+        machine = MachineConfig(num_threads=threads).with_fetch_width(width)
+        speeds = [
+            speedup_over_base(app, MMTConfig.mmt_fxr(), threads, machine, scale)
+            for app in apps
+        ]
+        rows.append({"fetch_width": width, "geomean_speedup": geomean(speeds)})
+    return rows
+
+
+# -------------------------------------------------------------------- Tables
+def table3_hardware() -> list[dict]:
+    """The MMT hardware budget (paper Table 3)."""
+    return [
+        {
+            "component": row.component,
+            "description": row.description,
+            "area": row.area,
+            "delay": row.delay,
+            "storage_bits": row.storage_bits,
+        }
+        for row in hardware_budget()
+    ]
+
+
+def table4_configuration(machine: MachineConfig | None = None) -> list[tuple[str, str]]:
+    """The simulator configuration (paper Table 4)."""
+    return (machine or MachineConfig()).table4_rows()
+
+
+def table5_configurations() -> list[tuple[str, str]]:
+    """The evaluated MMT configurations (paper Table 5)."""
+    return MMTConfig.table5_rows()

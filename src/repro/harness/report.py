@@ -1,0 +1,84 @@
+"""Plain-text rendering of figure/table data in the paper's layout."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str],
+    headers: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render *rows* (dicts) as an aligned ASCII table."""
+    headers = [str(header) for header in (headers or columns)]
+    rendered: list[list[str]] = [headers]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_pairs(
+    pairs: Iterable[tuple[str, str]], title: str | None = None
+) -> str:
+    """Render key/value pairs (the paper's Table 4/5 style)."""
+    pairs = list(pairs)
+    width = max(len(key) for key, _ in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for key, value in pairs:
+        lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def format_stacked_bars(
+    rows: Sequence[dict],
+    label_key: str,
+    part_keys: Sequence[str],
+    width: int = 40,
+    symbols: str = "#=.~",
+    title: str | None = None,
+) -> str:
+    """Render stacked-fraction rows as ASCII bars (Figure 1/5(b)/5(d) style)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = max(len(str(row[label_key])) for row in rows)
+    for row in rows:
+        bar = ""
+        for key, symbol in zip(part_keys, symbols):
+            part = max(0.0, min(1.0, float(row.get(key, 0.0))))
+            bar += symbol * int(round(part * width))
+        bar = bar[:width].ljust(width)
+        parts = " ".join(
+            f"{key}={float(row.get(key, 0.0)):.2f}" for key in part_keys
+        )
+        lines.append(f"{str(row[label_key]).ljust(label_width)} |{bar}| {parts}")
+    legend = "  ".join(
+        f"{symbol}={key}" for key, symbol in zip(part_keys, symbols)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Result persistence: dump figure data as JSON for external tooling.
+
+The figure regenerators return lists of plain dicts; this module writes
+them to disk with a small metadata header (figure id, scale, app list) so
+plotting pipelines and regression archives can consume the repository's
+outputs without importing it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def _jsonable(value):
+    """Make a figure row JSON-serialisable (drop private keys, stringify
+    non-scalar keys like the integer FHB sizes)."""
+    if isinstance(value, dict):
+        return {
+            str(key): _jsonable(sub)
+            for key, sub in value.items()
+            if not (isinstance(key, str) and key.startswith("_"))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def dump_figure(
+    figure_id: str,
+    rows: list,
+    path: str | Path,
+    scale: float = 1.0,
+    extra: dict | None = None,
+) -> Path:
+    """Write *rows* for *figure_id* to *path* as JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "figure": figure_id,
+        "paper": "Minimal Multi-Threading (MICRO 2010)",
+        "scale": scale,
+        "rows": _jsonable(rows),
+    }
+    if extra:
+        payload.update(_jsonable(extra))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_figure(path: str | Path) -> dict:
+    """Read a dumped figure back."""
+    return json.loads(Path(path).read_text())

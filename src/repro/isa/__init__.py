@@ -1,0 +1,42 @@
+"""The repro RISC ISA: opcodes, registers, instructions, programs, assembler."""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.isa.program import INST_BYTES, WORD_SIZE, Program
+from repro.isa.registers import (
+    FP_BASE,
+    GP,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RA,
+    SP,
+    ZERO,
+    fp_reg,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "Instruction",
+    "OpClass",
+    "Opcode",
+    "op_class",
+    "INST_BYTES",
+    "WORD_SIZE",
+    "Program",
+    "FP_BASE",
+    "GP",
+    "NUM_ARCH_REGS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "RA",
+    "SP",
+    "ZERO",
+    "fp_reg",
+    "parse_reg",
+    "reg_name",
+]

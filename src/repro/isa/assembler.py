@@ -1,0 +1,309 @@
+"""Two-pass assembler for the repro ISA.
+
+The assembler accepts a conventional textual assembly syntax and produces a
+linked :class:`~repro.isa.program.Program`.  It exists mainly for examples,
+tests, and hand-written kernels; the bulk workloads are generated through
+:mod:`repro.workloads.dsl`, which builds instruction lists directly.
+
+Syntax overview::
+
+    # comment                 ; comment
+    label:  addi r1, r1, -1
+            bne  r1, r0, label
+            lw   r2, 8(r5)          # displacement(base)
+            li   r3, 0x40           # immediates: decimal, hex, char
+            la   r4, table          # pseudo: load address of data symbol
+            fadd f0, f1, f2
+            halt
+
+    .data 0x1000                    # switch to data mode at byte address
+    table: .word 1 2 3 4            # place 8-byte words
+    vec:   .float 1.5 -2.0
+           .space 8                 # reserve N words (zero-filled)
+
+Directives must appear after the code unless addresses are given explicitly;
+data labels become *symbols* resolvable by ``la`` and by host code.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import WORD_SIZE, Program
+from repro.isa.registers import RA, parse_reg
+
+_MEM_RE = re.compile(r"^(?P<disp>[-+]?(?:0x[0-9a-fA-F]+|\d+))?\((?P<base>\w+)\)$")
+
+# op -> (operand pattern). Patterns: R=reg, I=imm, M=mem operand, L=label/target.
+_FORMATS: dict[Opcode, str] = {
+    Opcode.ADD: "RRR",
+    Opcode.SUB: "RRR",
+    Opcode.MUL: "RRR",
+    Opcode.DIV: "RRR",
+    Opcode.REM: "RRR",
+    Opcode.AND: "RRR",
+    Opcode.OR: "RRR",
+    Opcode.XOR: "RRR",
+    Opcode.SLL: "RRR",
+    Opcode.SRL: "RRR",
+    Opcode.SRA: "RRR",
+    Opcode.SLT: "RRR",
+    Opcode.SEQ: "RRR",
+    Opcode.ADDI: "RRI",
+    Opcode.ANDI: "RRI",
+    Opcode.ORI: "RRI",
+    Opcode.XORI: "RRI",
+    Opcode.SLLI: "RRI",
+    Opcode.SRLI: "RRI",
+    Opcode.SLTI: "RRI",
+    Opcode.LI: "RI",
+    Opcode.FADD: "RRR",
+    Opcode.FSUB: "RRR",
+    Opcode.FMUL: "RRR",
+    Opcode.FDIV: "RRR",
+    Opcode.FSQRT: "RR",
+    Opcode.FNEG: "RR",
+    Opcode.FABS: "RR",
+    Opcode.FMIN: "RRR",
+    Opcode.FMAX: "RRR",
+    Opcode.FLI: "RI",
+    Opcode.FCVT: "RR",
+    Opcode.FTOI: "RR",
+    Opcode.FSLT: "RRR",
+    Opcode.FSEQ: "RRR",
+    Opcode.LW: "RM",
+    Opcode.FLW: "RM",
+    Opcode.SW: "RM",  # sw value, disp(base)
+    Opcode.FSW: "RM",
+    Opcode.BEQ: "RRL",
+    Opcode.BNE: "RRL",
+    Opcode.BLT: "RRL",
+    Opcode.BGE: "RRL",
+    Opcode.J: "L",
+    Opcode.JAL: "L",
+    Opcode.JR: "R",
+    Opcode.SEND: "RR",
+    Opcode.TRECV: "RR",
+    Opcode.TID: "R",
+    Opcode.NCTX: "R",
+    Opcode.NOP: "",
+    Opcode.HALT: "",
+    Opcode.HINT: "",
+}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with line context."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_int(text: str, lineno: int) -> int:
+    text = text.strip()
+    lowered = text.lower()
+    try:
+        if lowered.startswith("0x") or lowered.startswith("-0x"):
+            return int(text, 16)
+        if lowered.startswith("0b") or lowered.startswith("-0b"):
+            return int(text, 2)
+        return int(text, 10)
+    except ValueError:
+        raise AssemblerError(lineno, f"bad integer literal {text!r}") from None
+
+
+def _parse_number(text: str, lineno: int) -> int | float:
+    text = text.strip()
+    if "." in text or "e" in text.lower() and not text.lower().startswith("0x"):
+        try:
+            return float(text)
+        except ValueError:
+            raise AssemblerError(lineno, f"bad float literal {text!r}") from None
+    return _parse_int(text, lineno)
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+class _Pending:
+    """A code line awaiting label resolution in pass two."""
+
+    __slots__ = ("lineno", "mnemonic", "operands")
+
+    def __init__(self, lineno: int, mnemonic: str, operands: list[str]) -> None:
+        self.lineno = lineno
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble *source* text into a linked :class:`Program`."""
+    labels: dict[str, int] = {}
+    symbols: dict[str, int] = {}
+    data: dict[int, int | float] = {}
+    pending: list[_Pending] = []
+    in_data = False
+    data_cursor = 0
+
+    # Pass one: collect labels/symbols, data image, and raw code lines.
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^(\w+):\s*", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels or label in symbols:
+                raise AssemblerError(lineno, f"duplicate label {label!r}")
+            if in_data:
+                symbols[label] = data_cursor
+            else:
+                labels[label] = len(pending)
+            line = line[match.end():]
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".data":
+                if len(parts) != 2:
+                    raise AssemblerError(lineno, ".data requires an address")
+                in_data = True
+                data_cursor = _parse_int(parts[1], lineno)
+                if data_cursor % WORD_SIZE:
+                    raise AssemblerError(lineno, ".data address must be word aligned")
+            elif directive == ".word":
+                if not in_data:
+                    raise AssemblerError(lineno, ".word outside .data section")
+                for token in parts[1:]:
+                    data[data_cursor] = _parse_int(token, lineno)
+                    data_cursor += WORD_SIZE
+            elif directive == ".float":
+                if not in_data:
+                    raise AssemblerError(lineno, ".float outside .data section")
+                for token in parts[1:]:
+                    data[data_cursor] = float(token)
+                    data_cursor += WORD_SIZE
+            elif directive == ".space":
+                if not in_data:
+                    raise AssemblerError(lineno, ".space outside .data section")
+                count = _parse_int(parts[1], lineno)
+                for _ in range(count):
+                    data[data_cursor] = 0
+                    data_cursor += WORD_SIZE
+            else:
+                raise AssemblerError(lineno, f"unknown directive {directive!r}")
+            continue
+
+        if in_data:
+            raise AssemblerError(lineno, "instruction inside .data section")
+        mnemonic, _, rest = line.partition(" ")
+        operands = [tok.strip() for tok in rest.split(",") if tok.strip()] if rest else []
+        pending.append(_Pending(lineno, mnemonic.lower(), operands))
+
+    # Pass two: encode instructions with labels resolved.
+    instructions = [_encode(entry, labels, symbols) for entry in pending]
+    return Program(
+        instructions, labels=labels, data=data, symbols=symbols, name=name
+    )
+
+
+def _resolve_imm(
+    token: str, lineno: int, symbols: dict[str, int]
+) -> int | float:
+    if token in symbols:
+        return symbols[token]
+    return _parse_number(token, lineno)
+
+
+def _encode(
+    entry: _Pending, labels: dict[str, int], symbols: dict[str, int]
+) -> Instruction:
+    lineno, mnemonic, operands = entry.lineno, entry.mnemonic, entry.operands
+
+    # Pseudo-instructions.
+    if mnemonic == "la":
+        if len(operands) != 2 or operands[1] not in symbols:
+            raise AssemblerError(lineno, "la expects: la rX, data_symbol")
+        return Instruction(Opcode.LI, rd=parse_reg(operands[0]), imm=symbols[operands[1]])
+    if mnemonic == "mv":
+        if len(operands) != 2:
+            raise AssemblerError(lineno, "mv expects: mv rX, rY")
+        return Instruction(
+            Opcode.ADDI, rd=parse_reg(operands[0]), rs1=parse_reg(operands[1]), imm=0
+        )
+    if mnemonic == "call":
+        if len(operands) != 1 or operands[0] not in labels:
+            raise AssemblerError(lineno, "call expects a code label")
+        return Instruction(Opcode.JAL, rd=RA, target=labels[operands[0]])
+    if mnemonic == "ret":
+        return Instruction(Opcode.JR, rs1=RA)
+
+    try:
+        op = Opcode(mnemonic)
+    except ValueError:
+        raise AssemblerError(lineno, f"unknown mnemonic {mnemonic!r}") from None
+    fmt = _FORMATS[op]
+    if op in (Opcode.J, Opcode.JAL):
+        if len(operands) != 1 or operands[0] not in labels:
+            raise AssemblerError(lineno, f"{mnemonic} expects a code label")
+        rd = RA if op is Opcode.JAL else None
+        return Instruction(op, rd=rd, target=labels[operands[0]])
+
+    if len(operands) != len(fmt):
+        raise AssemblerError(
+            lineno, f"{mnemonic} expects {len(fmt)} operands, got {len(operands)}"
+        )
+
+    rd = rs1 = rs2 = None
+    imm: int | float | None = None
+    target = None
+    regs: list[int] = []
+    for kind, token in zip(fmt, operands):
+        if kind == "R":
+            regs.append(parse_reg(token))
+        elif kind == "I":
+            imm = _resolve_imm(token, lineno, symbols)
+        elif kind == "M":
+            match = _MEM_RE.match(token.replace(" ", ""))
+            if not match:
+                raise AssemblerError(lineno, f"bad memory operand {token!r}")
+            imm = _parse_int(match.group("disp") or "0", lineno)
+            regs.append(parse_reg(match.group("base")))
+        elif kind == "L":
+            if token not in labels:
+                raise AssemblerError(lineno, f"undefined label {token!r}")
+            target = labels[token]
+
+    if op in (Opcode.SW, Opcode.FSW):
+        # sw value, disp(base): value and base are both sources.
+        rs2, rs1 = regs[0], regs[1]
+    elif op is Opcode.SEND:
+        # send channel, value: both operands are sources.
+        rs1, rs2 = regs[0], regs[1]
+    elif op is Opcode.TRECV:
+        # trecv rd, channel.
+        rd, rs1 = regs[0], regs[1]
+    elif op.value in ("beq", "bne", "blt", "bge"):
+        rs1, rs2 = regs[0], regs[1]
+    elif op is Opcode.JR:
+        rs1 = regs[0]
+    else:
+        if regs:
+            rd = regs[0]
+        if len(regs) > 1:
+            rs1 = regs[1]
+        if len(regs) > 2:
+            rs2 = regs[2]
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)

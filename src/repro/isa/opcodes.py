@@ -1,0 +1,224 @@
+"""Instruction opcodes and operation classes for the repro RISC ISA.
+
+The ISA is a small load/store RISC machine: 32 integer registers, 16
+floating-point registers, word-addressed memory (8-byte words addressed in
+bytes), and a conventional set of ALU / FPU / memory / control operations.
+It is deliberately close to the Alpha/MIPS-style ISAs targeted by
+SimpleScalar, which the paper's infrastructure was built on.
+
+Each opcode carries an :class:`OpClass` that the timing model uses to pick a
+functional unit and latency, and a small set of boolean predicates
+(:func:`is_branch`, :func:`is_load`, ...) used throughout the pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an operation (selects FU pool + latency)."""
+
+    ALU = "alu"  # simple integer ops, 1 cycle
+    IMUL = "imul"  # integer multiply
+    IDIV = "idiv"  # integer divide / remainder
+    FADD = "fadd"  # fp add/sub/compare/convert
+    FMUL = "fmul"  # fp multiply
+    FDIV = "fdiv"  # fp divide / sqrt
+    LOAD = "load"  # memory read
+    STORE = "store"  # memory write
+    BRANCH = "branch"  # conditional branches
+    JUMP = "jump"  # unconditional control flow
+    SYS = "sys"  # HALT / NOP / TID and other special ops
+    MSG = "msg"  # SEND / TRECV message-network operations
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the repro ISA."""
+
+    # Integer register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SEQ = "seq"
+
+    # Integer register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SLTI = "slti"
+    LI = "li"  # load immediate (materialise a constant)
+
+    # Floating point (operate on f-registers).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FLI = "fli"  # fp load immediate
+    FCVT = "fcvt"  # int reg -> fp reg
+    FTOI = "ftoi"  # fp reg -> int reg (truncate)
+    FSLT = "fslt"  # fp compare, int reg result
+    FSEQ = "fseq"  # fp equality compare, int reg result
+
+    # Memory. Integer loads/stores use int regs; FLW/FSW move fp regs.
+    LW = "lw"
+    SW = "sw"
+    FLW = "flw"
+    FSW = "fsw"
+
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+
+    # Message passing (the paper's third SPMD category, §3.1): SEND
+    # appends a register value to a FIFO channel; TRECV polls a channel,
+    # returning the oldest message or -1 when empty (blocking receives are
+    # software spin loops over TRECV).
+    SEND = "send"  # channel <- rs1, value <- rs2
+    TRECV = "trecv"  # rd <- message or -1, channel <- rs1
+
+    # Special.
+    TID = "tid"  # rd <- hardware thread/context id
+    NCTX = "nctx"  # rd <- number of contexts in the job
+    NOP = "nop"
+    HALT = "halt"
+    # Software remerge hint (Thread Fusion [36] style): architecturally a
+    # NOP; with MMTConfig.use_hints the fetch unit treats its PC as an
+    # explicit rendezvous where diverged threads wait (bounded) to remerge.
+    HINT = "hint"
+
+
+#: Opcode -> functional-unit class.
+OP_CLASS: dict[Opcode, OpClass] = {
+    Opcode.ADD: OpClass.ALU,
+    Opcode.SUB: OpClass.ALU,
+    Opcode.MUL: OpClass.IMUL,
+    Opcode.DIV: OpClass.IDIV,
+    Opcode.REM: OpClass.IDIV,
+    Opcode.AND: OpClass.ALU,
+    Opcode.OR: OpClass.ALU,
+    Opcode.XOR: OpClass.ALU,
+    Opcode.SLL: OpClass.ALU,
+    Opcode.SRL: OpClass.ALU,
+    Opcode.SRA: OpClass.ALU,
+    Opcode.SLT: OpClass.ALU,
+    Opcode.SEQ: OpClass.ALU,
+    Opcode.ADDI: OpClass.ALU,
+    Opcode.ANDI: OpClass.ALU,
+    Opcode.ORI: OpClass.ALU,
+    Opcode.XORI: OpClass.ALU,
+    Opcode.SLLI: OpClass.ALU,
+    Opcode.SRLI: OpClass.ALU,
+    Opcode.SLTI: OpClass.ALU,
+    Opcode.LI: OpClass.ALU,
+    Opcode.FADD: OpClass.FADD,
+    Opcode.FSUB: OpClass.FADD,
+    Opcode.FMUL: OpClass.FMUL,
+    Opcode.FDIV: OpClass.FDIV,
+    Opcode.FSQRT: OpClass.FDIV,
+    Opcode.FNEG: OpClass.FADD,
+    Opcode.FABS: OpClass.FADD,
+    Opcode.FMIN: OpClass.FADD,
+    Opcode.FMAX: OpClass.FADD,
+    Opcode.FLI: OpClass.FADD,
+    Opcode.FCVT: OpClass.FADD,
+    Opcode.FTOI: OpClass.FADD,
+    Opcode.FSLT: OpClass.FADD,
+    Opcode.FSEQ: OpClass.FADD,
+    Opcode.LW: OpClass.LOAD,
+    Opcode.FLW: OpClass.LOAD,
+    Opcode.SW: OpClass.STORE,
+    Opcode.FSW: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.J: OpClass.JUMP,
+    Opcode.JAL: OpClass.JUMP,
+    Opcode.JR: OpClass.JUMP,
+    Opcode.SEND: OpClass.MSG,
+    Opcode.TRECV: OpClass.MSG,
+    Opcode.TID: OpClass.SYS,
+    Opcode.NCTX: OpClass.SYS,
+    Opcode.NOP: OpClass.SYS,
+    Opcode.HALT: OpClass.SYS,
+    Opcode.HINT: OpClass.SYS,
+}
+
+#: Execution latency (cycles in a functional unit) per class.
+DEFAULT_LATENCY: dict[OpClass, int] = {
+    OpClass.ALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.FADD: 2,
+    OpClass.FMUL: 4,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 1,  # address generation; memory latency added by the LSQ
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.SYS: 1,
+    OpClass.MSG: 3,  # network-hop latency for SEND/TRECV
+}
+
+_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+_JUMP_OPS = frozenset({Opcode.J, Opcode.JAL, Opcode.JR})
+_LOAD_OPS = frozenset({Opcode.LW, Opcode.FLW})
+_STORE_OPS = frozenset({Opcode.SW, Opcode.FSW})
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the functional-unit class for *op*."""
+    return OP_CLASS[op]
+
+
+def is_branch(op: Opcode) -> bool:
+    """True for conditional branches."""
+    return op in _BRANCH_OPS
+
+
+def is_jump(op: Opcode) -> bool:
+    """True for unconditional control flow (J/JAL/JR)."""
+    return op in _JUMP_OPS
+
+
+def is_control(op: Opcode) -> bool:
+    """True for any instruction that can change the PC."""
+    return op in _BRANCH_OPS or op in _JUMP_OPS
+
+
+def is_load(op: Opcode) -> bool:
+    """True for memory loads."""
+    return op in _LOAD_OPS
+
+
+def is_store(op: Opcode) -> bool:
+    """True for memory stores."""
+    return op in _STORE_OPS
+
+
+def is_mem(op: Opcode) -> bool:
+    """True for loads and stores."""
+    return op in _LOAD_OPS or op in _STORE_OPS

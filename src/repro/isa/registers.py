@@ -1,0 +1,80 @@
+"""Architected register file layout.
+
+The machine has 48 architected registers: 32 integer (``r0``–``r31``) and 16
+floating point (``f0``–``f15``).  They live in a single flat architected
+index space 0..47 so that structures like the Register Sharing Table (RST)
+and the Register Alias Table (RAT) can be indexed uniformly — the paper's
+Table 3 sizes the RST for ~50 architected registers for the same reason.
+
+Conventions (used by the assembler's pseudo-ops and the workload builder):
+
+====== ===== =======================================
+name   index role
+====== ===== =======================================
+r0     0     hardwired zero
+r1-r27       general purpose
+sp/r28 28    stack pointer (differs across MT threads)
+gp/r29 29    global data pointer
+fp/r30 30    frame pointer
+ra/r31 31    return address (written by JAL)
+f0-f15 32-47 floating point
+====== ===== =======================================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 16
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+ZERO = 0
+SP = 28
+GP = 29
+FP = 30
+RA = 31
+
+FP_BASE = NUM_INT_REGS  # architected index of f0
+
+_ALIASES = {"sp": SP, "gp": GP, "fp": FP, "ra": RA, "zero": ZERO}
+
+
+def is_int_reg(index: int) -> bool:
+    """True if *index* names an integer architected register."""
+    return 0 <= index < NUM_INT_REGS
+
+
+def is_fp_reg(index: int) -> bool:
+    """True if *index* names a floating-point architected register."""
+    return FP_BASE <= index < NUM_ARCH_REGS
+
+
+def fp_reg(n: int) -> int:
+    """Architected index of floating-point register ``f<n>``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"no such fp register f{n}")
+    return FP_BASE + n
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``r7``, ``f3``, ``sp``, ...) to its index."""
+    name = name.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        idx = int(name[1:])
+        if is_int_reg(idx):
+            return idx
+    if name.startswith("f") and name[1:].isdigit():
+        n = int(name[1:])
+        if 0 <= n < NUM_FP_REGS:
+            return FP_BASE + n
+    raise ValueError(f"unknown register name: {name!r}")
+
+
+def reg_name(index: int) -> str:
+    """Human-readable name of architected register *index*."""
+    if is_int_reg(index):
+        return f"r{index}"
+    if is_fp_reg(index):
+        return f"f{index - FP_BASE}"
+    raise ValueError(f"register index out of range: {index}")

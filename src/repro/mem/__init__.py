@@ -1,0 +1,19 @@
+"""Memory subsystem: address spaces, caches, MSHRs, and the full hierarchy."""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.channels import MessageNetwork
+from repro.mem.hierarchy import MemoryConfig, MemoryEventCounts, MemoryHierarchy
+from repro.mem.memory import AddressSpace, MemoryError_
+from repro.mem.mshr import MSHRFile
+
+__all__ = [
+    "MessageNetwork",
+    "Cache",
+    "CacheStats",
+    "MemoryConfig",
+    "MemoryEventCounts",
+    "MemoryHierarchy",
+    "AddressSpace",
+    "MemoryError_",
+    "MSHRFile",
+]

@@ -1,0 +1,94 @@
+"""Set-associative cache model (timing only).
+
+Caches track which lines are present; data always comes from the
+:class:`~repro.mem.memory.AddressSpace`, so the cache influences cycles and
+energy, never values.  Lines are identified by an integer *line key* that
+the caller derives from ``(asid, address)`` — the L1 D-cache and L2 are
+physically shared between contexts, so multi-execution instances contend
+for capacity, while the I-cache is indexed by PC alone (shared text).
+"""
+
+from __future__ import annotations
+
+
+class CacheStats:
+    """Access counters for one cache."""
+
+    __slots__ = ("accesses", "hits", "misses", "writebacks")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache with LRU."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+    ) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(f"{name}: size not divisible by assoc*line")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # Each set is an LRU-ordered list of (line_key, dirty); index 0 = MRU.
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def line_key(self, asid: int, addr: int) -> int:
+        """Derive the line key for byte address *addr* in space *asid*.
+
+        The multiplier is odd so consecutive lines spread over the
+        (power-of-two) set array instead of aliasing into one set.
+        """
+        return (addr // self.line_bytes) * 1_048_583 + asid
+
+    def lookup(self, key: int) -> bool:
+        """Probe without side effects: is the line present?"""
+        set_ = self._sets[key % self.num_sets]
+        return any(entry[0] == key for entry in set_)
+
+    def access(self, key: int, is_write: bool = False) -> bool:
+        """Access line *key*; fill on miss.  Returns True on hit.
+
+        A miss that evicts a dirty line counts a writeback (used by the
+        energy model and by Figure 6's cache-energy component).
+        """
+        self.stats.accesses += 1
+        set_ = self._sets[key % self.num_sets]
+        for i, entry in enumerate(set_):
+            if entry[0] == key:
+                if i:
+                    set_.insert(0, set_.pop(i))
+                if is_write:
+                    entry[1] = True
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        if len(set_) >= self.assoc:
+            victim = set_.pop()
+            if victim[1]:
+                self.stats.writebacks += 1
+        set_.insert(0, [key, is_write])
+        return False
+
+    def invalidate_all(self) -> None:
+        """Drop all lines (counters are preserved)."""
+        self._sets = [[] for _ in range(self.num_sets)]

@@ -1,0 +1,57 @@
+"""Message channels: the substrate for message-passing workloads.
+
+The paper's §3.1 names three SPMD program categories — multi-threaded,
+*message-passing*, and multi-execution — but evaluates only the first and
+last, leaving message-passing "for future work" (§7).  This module (with
+the SEND/TRECV instructions) supplies the missing substrate so the
+repository can evaluate that third category too.
+
+A :class:`MessageNetwork` is a set of FIFO channels shared by all contexts
+of a job — the hardware analogue of an on-chip message queue or an MPI
+runtime's mailboxes.  Receives are *polling* (``try_recv``): blocking
+receives are built in software as TRECV spin loops, which keeps the
+functional oracle deadlock-free under any fair fetch interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class MessageNetwork:
+    """FIFO channels indexed by small integer ids."""
+
+    def __init__(self, capacity_per_channel: int = 4096) -> None:
+        self.capacity = capacity_per_channel
+        self._channels: dict[int, deque] = {}
+        self.sends = 0
+        self.receives = 0
+        self.empty_polls = 0
+
+    def send(self, channel: int, value: int | float) -> None:
+        """Append *value* to *channel* (FIFO order per channel)."""
+        queue = self._channels.setdefault(int(channel), deque())
+        if len(queue) >= self.capacity:
+            raise RuntimeError(
+                f"channel {channel} overflowed ({self.capacity} messages)"
+            )
+        queue.append(value)
+        self.sends += 1
+
+    def try_recv(self, channel: int):
+        """Dequeue the oldest message of *channel*, or None when empty."""
+        queue = self._channels.get(int(channel))
+        if not queue:
+            self.empty_polls += 1
+            return None
+        self.receives += 1
+        return queue.popleft()
+
+    def depth(self, channel: int) -> int:
+        """Messages currently queued on *channel*."""
+        queue = self._channels.get(int(channel))
+        return len(queue) if queue else 0
+
+    def total_queued(self) -> int:
+        """Messages queued across all channels (0 at clean termination)."""
+        return sum(len(queue) for queue in self._channels.values())

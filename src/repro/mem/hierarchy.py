@@ -1,0 +1,136 @@
+"""The cache/memory hierarchy of Table 4.
+
+Defaults reproduce the paper's configuration: 64 KB 4-way L1I and L1D with
+64 B lines and 1-cycle latency, a 4 MB 8-way L2 at 6 cycles, and 200-cycle
+DRAM.  Data misses are bounded by an MSHR file; instruction misses stall the
+fetch unit directly (fetch is in-order, so one outstanding I-miss per
+context is the natural limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import INST_BYTES
+from repro.mem.cache import Cache
+from repro.mem.mshr import MSHRFile
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry and latency knobs for the hierarchy (paper Table 4)."""
+
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 4
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 4
+    l2_size: int = 4 * 1024 * 1024
+    l2_assoc: int = 8
+    line_bytes: int = 64
+    l1_latency: int = 1
+    l2_latency: int = 6
+    dram_latency: int = 200
+    mshr_entries: int = 16
+
+    def table4_rows(self) -> list[tuple[str, str]]:
+        """Rows of this config as they appear in the paper's Table 4."""
+        kb = 1024
+        return [
+            ("L1I/L1D Cache", f"{self.l1i_size // kb}KB+{self.l1d_size // kb}KB, "
+                              f"{self.l1d_assoc} way, {self.line_bytes}B lines"),
+            ("L1 Latency", f"{self.l1_latency} cycle"),
+            ("L2 Cache", f"{self.l2_size // kb // kb}MB, {self.l2_assoc} way, "
+                         f"{self.line_bytes}B lines"),
+            ("L2 Latency", f"{self.l2_latency} cycles"),
+            ("DRAM Latency", str(self.dram_latency)),
+        ]
+
+
+@dataclass
+class MemoryEventCounts:
+    """Hierarchy activity counters consumed by the energy model."""
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class MemoryHierarchy:
+    """Shared L1I + L1D + L2 + DRAM with a data-side MSHR file."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+        cfg = self.config
+        self.l1i = Cache("L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.line_bytes)
+        self.l1d = Cache("L1D", cfg.l1d_size, cfg.l1d_assoc, cfg.line_bytes)
+        self.l2 = Cache("L2", cfg.l2_size, cfg.l2_assoc, cfg.line_bytes)
+        self.mshr = MSHRFile(cfg.mshr_entries)
+        self.dram_accesses = 0
+
+    # ----------------------------------------------------------- instruction
+    def fetch_latency(self, pc: int) -> int:
+        """Access the I-side for the line containing instruction *pc*.
+
+        Returns the access latency in cycles (L1 hit latency when present).
+        The I-cache is indexed by PC only: identical program text is shared
+        between contexts, as the OS page cache would share it between
+        processes running the same binary.
+        """
+        cfg = self.config
+        key = self.l1i.line_key(0, pc * INST_BYTES)
+        if self.l1i.access(key):
+            return cfg.l1_latency
+        if self.l2.access(key):
+            return cfg.l1_latency + cfg.l2_latency
+        self.dram_accesses += 1
+        return cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
+
+    # ------------------------------------------------------------------ data
+    def data_access(
+        self, asid: int, addr: int, is_write: bool, now: int
+    ) -> int | None:
+        """Access the D-side for *addr* in *asid* at cycle *now*.
+
+        Returns the cycle at which the data is available (for loads) or the
+        write is accepted (for stores), or ``None`` when the access cannot
+        proceed this cycle because the MSHR file is full.
+        """
+        cfg = self.config
+        key = self.l1d.line_key(asid, addr)
+        if self.l1d.lookup(key):
+            self.l1d.access(key, is_write)
+            return now + cfg.l1_latency
+        # L1 miss: needs (or merges into) an MSHR entry.
+        if self.l2.lookup(key):
+            latency = cfg.l1_latency + cfg.l2_latency
+        else:
+            latency = cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
+        ready = self.mshr.request(key, now, latency)
+        if ready is None:
+            return None
+        # Commit the state change only once the request is accepted.
+        self.l1d.access(key, is_write)
+        if not self.l2.access(key, False):
+            self.dram_accesses += 1
+        return ready
+
+    def tick(self, now: int) -> None:
+        """Advance time-dependent structures (MSHR retirement)."""
+        self.mshr.tick(now)
+
+    def event_counts(self) -> MemoryEventCounts:
+        """Snapshot of activity counters for the energy model."""
+        return MemoryEventCounts(
+            l1i_accesses=self.l1i.stats.accesses,
+            l1i_misses=self.l1i.stats.misses,
+            l1d_accesses=self.l1d.stats.accesses,
+            l1d_misses=self.l1d.stats.misses,
+            l2_accesses=self.l2.stats.accesses,
+            l2_misses=self.l2.stats.misses,
+            dram_accesses=self.dram_accesses,
+        )

@@ -1,0 +1,67 @@
+"""Value-level main memory.
+
+An :class:`AddressSpace` is a sparse map from word-aligned byte addresses to
+Python scalars (ints or floats).  Multi-threaded workloads share one address
+space between all contexts; multi-execution workloads give each context its
+own (the paper's third workload distinction — separate processes).
+
+The timing model's caches track addresses only; data always comes from the
+address space, so cache bugs cannot corrupt values (they only cost cycles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.isa.program import WORD_SIZE
+
+
+class MemoryError_(ValueError):
+    """Raised on unaligned or otherwise invalid memory accesses."""
+
+
+class AddressSpace:
+    """Sparse word-granular memory for one process image."""
+
+    _next_asid = 0
+
+    def __init__(
+        self, image: Mapping[int, int | float] | None = None, asid: int | None = None
+    ) -> None:
+        if asid is None:
+            asid = AddressSpace._next_asid
+            AddressSpace._next_asid += 1
+        self.asid = asid
+        self._words: dict[int, int | float] = dict(image or {})
+
+    def load(self, addr: int) -> int | float:
+        """Read the word at byte address *addr* (0 if never written)."""
+        if addr % WORD_SIZE:
+            raise MemoryError_(f"unaligned load at {addr:#x}")
+        if addr < 0:
+            raise MemoryError_(f"negative load address {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int | float) -> None:
+        """Write *value* to the word at byte address *addr*."""
+        if addr % WORD_SIZE:
+            raise MemoryError_(f"unaligned store at {addr:#x}")
+        if addr < 0:
+            raise MemoryError_(f"negative store address {addr:#x}")
+        self._words[addr] = value
+
+    def snapshot(self) -> dict[int, int | float]:
+        """Copy of the current word map (for tests and result extraction)."""
+        return dict(self._words)
+
+    def read_array(self, base: int, count: int) -> list[int | float]:
+        """Read *count* consecutive words starting at *base*."""
+        return [self.load(base + i * WORD_SIZE) for i in range(count)]
+
+    def write_array(self, base: int, values) -> None:
+        """Write consecutive words starting at *base*."""
+        for i, value in enumerate(values):
+            self.store(base + i * WORD_SIZE, value)
+
+    def __len__(self) -> int:
+        return len(self._words)

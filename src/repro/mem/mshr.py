@@ -1,0 +1,59 @@
+"""Miss Status Holding Registers.
+
+The MSHR file bounds the number of outstanding cache misses.  A new miss to
+a line that already has an entry *merges* (completes with the existing
+entry, consuming no new slot).  When the file is full, the requesting load
+or store must retry in a later cycle — this is the mechanism behind the
+Figure 7(b) load/store-port sensitivity study, where the paper scales the
+MSHR count with the number of ports.
+"""
+
+from __future__ import annotations
+
+
+class MSHRFile:
+    """Outstanding-miss tracker with line-merge semantics."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: dict[int, int] = {}  # line key -> ready cycle
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def outstanding(self) -> int:
+        """Number of live entries."""
+        return len(self._entries)
+
+    def lookup(self, line_key: int) -> int | None:
+        """Ready cycle of an outstanding miss to *line_key*, if any."""
+        return self._entries.get(line_key)
+
+    def request(self, line_key: int, now: int, latency: int) -> int | None:
+        """Request a miss slot for *line_key*.
+
+        Returns the cycle at which the line will be ready, or ``None`` if
+        the file is full (caller must retry).  Requests to an already
+        outstanding line merge with it.
+        """
+        ready = self._entries.get(line_key)
+        if ready is not None:
+            self.merges += 1
+            return ready
+        if len(self._entries) >= self.num_entries:
+            self.full_stalls += 1
+            return None
+        ready = now + latency
+        self._entries[line_key] = ready
+        self.allocations += 1
+        return ready
+
+    def tick(self, now: int) -> None:
+        """Retire entries whose fills have completed."""
+        if not self._entries:
+            return
+        done = [key for key, ready in self._entries.items() if ready <= now]
+        for key in done:
+            del self._entries[key]

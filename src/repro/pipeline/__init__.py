@@ -1,0 +1,24 @@
+"""Cycle-level SMT/MMT pipeline."""
+
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.job import Job
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rat import RegisterAliasTable
+from repro.pipeline.regfile import OutOfPhysRegs, PhysRegFile
+from repro.pipeline.smt import SimulationInvariantError, SMTCore
+from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "MachineConfig",
+    "DynInst",
+    "InstState",
+    "Job",
+    "LoadStoreQueue",
+    "RegisterAliasTable",
+    "OutOfPhysRegs",
+    "PhysRegFile",
+    "SimulationInvariantError",
+    "SMTCore",
+    "SimStats",
+]

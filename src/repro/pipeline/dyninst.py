@@ -1,0 +1,168 @@
+"""Dynamic (in-flight) instructions."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.itid import popcount, threads_of
+from repro.core.sync import FetchMode
+from repro.func.executor import Executed
+from repro.isa.instruction import Instruction
+
+
+class InstState(enum.Enum):
+    """Lifecycle of a dynamic instruction in the window."""
+
+    DECODED = "decoded"  # in the decode buffer, pre-split/rename
+    WAITING = "waiting"  # in the issue queue, sources not all ready
+    ISSUED = "issued"  # sent to a functional unit
+    WAITING_MEM = "waiting_mem"  # load waiting for LSQ/port/MSHR/forwarding
+    DONE = "done"  # result written back
+    COMMITTED = "committed"
+
+
+class DynInst:
+    """One instruction-window entry.
+
+    A DynInst may be owned by several threads (``itid``): it then occupies a
+    single slot in every pipeline structure and, unless split, executes once
+    for all owners.  ``execs`` maps each owning thread to its functional
+    oracle record, carrying the true operand values, result, memory address,
+    and next PC for that thread.
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "inst",
+        "itid",
+        "execs",
+        "fetch_mode",
+        "fetch_merged_width",
+        "state",
+        "psrcs",
+        "pdst",
+        "pdst_by_tid",
+        "prev_map",
+        "merged_via_regmerge",
+        "is_exec_merged",
+        "complete_cycle",
+        "pred_taken",
+        "pred_target",
+        "mispredicted",
+        "lvip_predicted_identical",
+        "mem_pending",
+        "mem_done_count",
+        "store_committed_count",
+        "lsq_index",
+        "halt",
+        "dead",
+        "lvip_mispredicted",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        inst: Instruction,
+        itid: int,
+        execs: dict[int, Executed],
+        fetch_mode: FetchMode,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.itid = itid
+        self.execs = execs
+        self.fetch_mode = fetch_mode
+        #: Number of threads the instruction was fetched for (before splits).
+        self.fetch_merged_width = popcount(itid)
+        self.state = InstState.DECODED
+        #: Physical source registers, aligned with ``inst.srcs``.
+        self.psrcs: list[int] = []
+        #: Physical destination (merged case) or None.
+        self.pdst: int | None = None
+        #: Per-thread destinations after an LVIP-triggered split, else None.
+        self.pdst_by_tid: dict[int, int] | None = None
+        #: Rename undo log: tid -> previous physical mapping of inst.dst.
+        self.prev_map: dict[int, int] = {}
+        #: True when the splitter kept this merged only thanks to RST bits
+        #: that were set by commit-time register merging (Figure 5(b)).
+        self.merged_via_regmerge = False
+        #: True when the instruction executes once for >=2 threads.
+        self.is_exec_merged = False
+        self.complete_cycle: int | None = None
+        self.pred_taken: bool | None = None
+        self.pred_target: int | None = None
+        self.mispredicted = False
+        self.lvip_predicted_identical: bool | None = None
+        #: Per-thread outstanding memory accesses (ME loads/stores split).
+        self.mem_pending: dict[int, int] | None = None
+        self.mem_done_count = 0
+        self.store_committed_count = 0
+        self.lsq_index: int | None = None
+        self.halt = inst.op.value == "halt"
+        #: Set when every owning thread has been squashed away.
+        self.dead = False
+        #: Set when this merged ME load's LVIP verification failed.
+        self.lvip_mispredicted = False
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def num_threads(self) -> int:
+        return popcount(self.itid)
+
+    def threads(self) -> list[int]:
+        return threads_of(self.itid)
+
+    def leader(self) -> int:
+        return min(self.execs)
+
+    def any_exec(self) -> Executed:
+        """An arbitrary owning thread's oracle record (they agree on the
+        static instruction; values may differ per thread)."""
+        return self.execs[min(self.execs)]
+
+    def dest_phys_for(self, tid: int) -> int | None:
+        """Physical destination register for thread *tid*."""
+        if self.pdst_by_tid is not None:
+            return self.pdst_by_tid.get(tid, self.pdst)
+        return self.pdst
+
+    def result_for(self, tid: int):
+        """The architectural result value for thread *tid*."""
+        return self.execs[tid].result
+
+    def clone_for(self, eid: int) -> "DynInst":
+        """A split piece of this fetched instruction owning only *eid*.
+
+        The clone keeps the fetch sequence number and mode; per-thread
+        uniqueness is preserved because split pieces partition the ITID.
+        """
+        execs = {t: self.execs[t] for t in threads_of(eid)}
+        piece = DynInst(self.seq, self.pc, self.inst, eid, execs, self.fetch_mode)
+        piece.fetch_merged_width = self.fetch_merged_width
+        piece.pred_taken = self.pred_taken
+        piece.pred_target = self.pred_target
+        piece.mispredicted = self.mispredicted
+        return piece
+
+    def drop_thread(self, tid: int) -> None:
+        """Remove *tid* from this instruction's ownership (squash path)."""
+        self.itid &= ~(1 << tid)
+        self.execs.pop(tid, None)
+        if self.pdst_by_tid is not None:
+            self.pdst_by_tid.pop(tid, None)
+        if self.mem_pending is not None:
+            self.mem_pending.pop(tid, None)
+            if not self.mem_pending and self.itid:
+                # The unit-owning thread left but others remain (merged MT
+                # load): restart the access under the new leader.
+                new_leader = (self.itid & -self.itid).bit_length() - 1
+                self.mem_pending[new_leader] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DynInst #{self.seq} pc={self.pc} itid={self.itid:04b} "
+            f"{self.inst.op.value} {self.state.value}>"
+        )

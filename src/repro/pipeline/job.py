@@ -1,0 +1,163 @@
+"""Job descriptions: what the machine runs.
+
+A :class:`Job` binds N hardware contexts to programs and address spaces.
+The two paper workload categories map as:
+
+* **multi-threaded** — one shared :class:`AddressSpace`, one program, one
+  context per software thread, distinct stack pointers;
+* **multi-execution** — one private :class:`AddressSpace` per context
+  (separate processes), identical program text, per-instance input data,
+  identical initial registers (including the stack pointer).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.config import WorkloadType
+from repro.core.itid import MAX_THREADS
+from repro.func.state import DEFAULT_STACK_TOP, STACK_STRIDE, ArchState
+from repro.isa.program import Program
+from repro.mem.channels import MessageNetwork
+from repro.mem.memory import AddressSpace
+
+
+class Job:
+    """N contexts ready to run on the SMT/MMT core."""
+
+    def __init__(
+        self,
+        name: str,
+        wtype: WorkloadType,
+        programs: Sequence[Program],
+        address_spaces: Sequence[AddressSpace],
+        stack_tops: Sequence[int],
+        soft_tids: Sequence[int] | None = None,
+        soft_nctx: int | None = None,
+    ) -> None:
+        if not 1 <= len(programs) <= MAX_THREADS:
+            raise ValueError(f"job must have 1..{MAX_THREADS} contexts")
+        if not len(programs) == len(address_spaces) == len(stack_tops):
+            raise ValueError("per-context sequences must have equal length")
+        if soft_tids is not None and len(soft_tids) != len(programs):
+            raise ValueError("soft_tids must have one entry per context")
+        text = programs[0].instructions
+        for program in programs[1:]:
+            if program.instructions is not text and (
+                len(program.instructions) != len(text)
+                or any(a is not b for a, b in zip(program.instructions, text))
+            ):
+                raise ValueError(
+                    "all contexts must share identical program text "
+                    "(SPMD assumption of the paper)"
+                )
+        self.name = name
+        self.wtype = wtype
+        self.programs = list(programs)
+        self.address_spaces = list(address_spaces)
+        self.stack_tops = list(stack_tops)
+        #: Software-visible thread ids (what the TID instruction returns);
+        #: hardware context ids are positional.  The Limit configuration
+        #: gives every clone software tid 0 so they perform identical work.
+        self.soft_tids = list(soft_tids) if soft_tids is not None else list(
+            range(len(programs))
+        )
+        self.soft_nctx = soft_nctx if soft_nctx is not None else len(programs)
+        #: Shared message network (message-passing jobs only).
+        self.channels: MessageNetwork | None = (
+            MessageNetwork() if wtype is WorkloadType.MESSAGE_PASSING else None
+        )
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self.programs)
+
+    def make_states(self) -> list[ArchState]:
+        """Fresh architectural states for every context."""
+        return [
+            ArchState(
+                self.programs[ctx],
+                self.address_spaces[ctx],
+                tid=self.soft_tids[ctx],
+                nctx=self.soft_nctx,
+                stack_top=self.stack_tops[ctx],
+                channels=self.channels,
+            )
+            for ctx in range(self.num_contexts)
+        ]
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def multi_threaded(
+        cls, name: str, program: Program, num_threads: int
+    ) -> "Job":
+        """Threads of one process: shared memory, distinct stacks."""
+        shared = AddressSpace(program.data)
+        tops = [DEFAULT_STACK_TOP - t * STACK_STRIDE for t in range(num_threads)]
+        return cls(
+            name,
+            WorkloadType.MULTI_THREADED,
+            [program] * num_threads,
+            [shared] * num_threads,
+            tops,
+        )
+
+    @classmethod
+    def multi_execution(
+        cls,
+        name: str,
+        program: Program,
+        per_instance_data: Sequence[Mapping[int, int | float]],
+    ) -> "Job":
+        """Instances of one binary with per-instance input data."""
+        programs = [program.with_data(extra) for extra in per_instance_data]
+        spaces = [AddressSpace(p.data) for p in programs]
+        tops = [DEFAULT_STACK_TOP] * len(programs)
+        return cls(name, WorkloadType.MULTI_EXECUTION, programs, spaces, tops)
+
+    @classmethod
+    def message_passing(
+        cls,
+        name: str,
+        program: Program,
+        per_instance_data: Sequence[Mapping[int, int | float]],
+    ) -> "Job":
+        """Ranked processes communicating through SEND/TRECV channels.
+
+        Like multi-execution (separate address spaces), but each instance
+        knows its rank (soft tid = context index) and the job carries a
+        shared :class:`~repro.mem.channels.MessageNetwork`.
+        """
+        programs = [program.with_data(extra) for extra in per_instance_data]
+        spaces = [AddressSpace(p.data) for p in programs]
+        tops = [DEFAULT_STACK_TOP] * len(programs)
+        return cls(
+            name, WorkloadType.MESSAGE_PASSING, programs, spaces, tops
+        )
+
+    @classmethod
+    def limit_clone(
+        cls,
+        name: str,
+        program: Program,
+        num_instances: int,
+        soft_nctx: int | None = None,
+    ) -> "Job":
+        """The Limit configuration: identical instances with identical inputs.
+
+        Every clone runs with software tid 0 (and ``soft_nctx`` software
+        threads, defaulting to *num_instances*), so all clones perform
+        byte-identical work — the upper bound on merged execution.
+        """
+        programs = [program] * num_instances
+        spaces = [AddressSpace(program.data) for _ in range(num_instances)]
+        tops = [DEFAULT_STACK_TOP] * num_instances
+        return cls(
+            name + "-limit",
+            WorkloadType.MULTI_EXECUTION,
+            programs,
+            spaces,
+            tops,
+            soft_tids=[0] * num_instances,
+            soft_nctx=soft_nctx if soft_nctx is not None else num_instances,
+        )

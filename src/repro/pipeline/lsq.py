@@ -1,0 +1,152 @@
+"""Load/Store Queue (paper §4.2.5, Table 2 LSQ rows).
+
+Ordering/forwarding rules (per thread — each thread's accesses target its
+own address space; multi-threaded contexts share one):
+
+* a load may access memory only when every older store of the same thread
+  has a known address (computed, i.e. past address generation);
+* if the youngest such older store writes the load's word, the value is
+  forwarded and no cache port is consumed;
+* otherwise the load takes a load/store port and accesses the hierarchy,
+  bounded by the MSHR file.
+
+Splitting (Table 2): multi-threaded loads and stores stay merged — shared
+memory, one access.  Multi-execution loads and stores are split into one
+access per owning thread, performed *serially* (one per cycle); merged ME
+loads additionally verify the LVIP prediction when the last access returns
+(handled by the writeback stage).
+
+Stores access the cache at commit (write-buffer semantics: commit proceeds
+once the access is accepted; misses complete in the background).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WorkloadType
+from repro.core.itid import first_thread
+from repro.pipeline.dyninst import DynInst, InstState
+
+_ADDR_UNKNOWN_STATES = (InstState.DECODED, InstState.WAITING, InstState.ISSUED)
+
+
+class LoadStoreQueue:
+    """In-order queue of in-flight memory instructions."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.entries: list[DynInst] = []
+
+    def has_space(self) -> bool:
+        return len(self.entries) < self.size
+
+    def allocate(self, di: DynInst) -> None:
+        if not self.has_space():
+            raise RuntimeError("LSQ overflow (rename must check has_space)")
+        self.entries.append(di)
+
+    def remove(self, di: DynInst) -> None:
+        self.entries.remove(di)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ---------------------------------------------------------------- loads
+    def init_load_units(self, di: DynInst, wtype: WorkloadType) -> None:
+        """Create the pending-access map once a load's address generation is
+        done.  MT: one access regardless of ITID (shared memory, identical
+        address).  ME: one per owning thread (separate address spaces)."""
+        if wtype is WorkloadType.MULTI_THREADED:
+            di.mem_pending = {first_thread(di.itid): None}
+        else:
+            di.mem_pending = {tid: None for tid in di.threads()}
+
+    def process_loads(self, core) -> None:
+        """Start pending load accesses, oldest first, one unit per load per
+        cycle (ME units serialize), bounded by ports and MSHRs."""
+        now = core.cycle
+        for di in self.entries:
+            if di.state is not InstState.WAITING_MEM or not di.inst.is_load:
+                continue
+            pending = [t for t, r in di.mem_pending.items() if r is None]
+            if not pending:
+                # All units started; a squash may have dropped the unit we
+                # were waiting on before completion was scheduled.
+                if di.mem_done_count == 0 and di.mem_pending:
+                    di.mem_done_count = 1
+                    core.schedule_completion(di, max(di.mem_pending.values()))
+                continue
+            tid = pending[0]
+            rec = di.execs[tid]
+            conflict = self._older_store(di, tid, rec.addr)
+            if conflict == "block":
+                continue
+            if conflict is not None:
+                # Store-to-load forwarding: value available next cycle.
+                di.mem_pending[tid] = now + 1
+                core.stats.store_forwards += 1
+            else:
+                if core.ldst_ports_left <= 0:
+                    core.stats.ldst_port_stalls += 1
+                    break
+                ready = core.hierarchy.data_access(
+                    core.asids[tid], rec.addr, False, now
+                )
+                if ready is None:
+                    continue  # MSHR full; another load may still hit
+                core.ldst_ports_left -= 1
+                core.stats.load_accesses += 1
+                di.mem_pending[tid] = max(ready, now + 1)
+            if all(r is not None for r in di.mem_pending.values()):
+                di.mem_done_count = 1
+                core.schedule_completion(di, max(di.mem_pending.values()))
+
+    def _older_store(self, load: DynInst, tid: int, addr: int):
+        """'block', the forwarding store, or None (no conflict)."""
+        bit = 1 << tid
+        best = None
+        for entry in self.entries:
+            if entry is load:
+                break
+            if not entry.inst.is_store or not entry.itid & bit:
+                continue
+            if entry.state in _ADDR_UNKNOWN_STATES:
+                return "block"
+            if entry.execs[tid].addr == addr:
+                best = entry
+        return best
+
+    # --------------------------------------------------------------- stores
+    @staticmethod
+    def store_accesses_needed(di: DynInst, wtype: WorkloadType) -> int:
+        """Cache accesses a committing store must perform (Table 2)."""
+        if wtype is WorkloadType.MULTI_THREADED:
+            return 1
+        return di.num_threads
+
+    def try_commit_store(self, di: DynInst, core) -> bool:
+        """Perform (at most one per cycle) of the store's commit accesses.
+
+        Returns True once every required access has been accepted.
+        """
+        wtype = core.job.wtype
+        needed = self.store_accesses_needed(di, wtype)
+        if di.store_committed_count < needed:
+            if core.ldst_ports_left <= 0:
+                core.stats.ldst_port_stalls += 1
+                return False
+            threads = di.threads()
+            tid = (
+                first_thread(di.itid)
+                if wtype is WorkloadType.MULTI_THREADED
+                else threads[di.store_committed_count]
+            )
+            rec = di.execs[tid]
+            ready = core.hierarchy.data_access(
+                core.asids[tid], rec.addr, True, core.cycle
+            )
+            if ready is None:
+                return False  # MSHR full: retry next cycle
+            core.ldst_ports_left -= 1
+            core.stats.store_accesses += 1
+            di.store_committed_count += 1
+        return di.store_committed_count >= needed

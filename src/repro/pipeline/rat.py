@@ -1,0 +1,51 @@
+"""Register Alias Tables (paper §4.2.4).
+
+One speculative RAT per hardware thread, mapping architected registers to
+physical registers.  For an execute-identical (merged) instruction, the
+single allocated destination register is recorded in *every* owning
+thread's RAT — that is the mechanism by which one execution result reaches
+all threads.
+
+Register merging (§4.2.7) additionally needs a commit-visible view of the
+mapping: the paper keeps a copy of the table to avoid adding read ports.
+Because our simulator squashes only in ways that restore the speculative
+RAT exactly (undo logs), the speculative table *is* the commit-visible
+mapping whenever the querying instruction's own mapping is still valid, so
+:class:`RegisterAliasTable` serves both roles; the read-port budget is
+enforced by :class:`~repro.core.regmerge.RegisterMergeUnit`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_ARCH_REGS
+
+
+class RegisterAliasTable:
+    """Per-thread architected-to-physical mappings."""
+
+    def __init__(self, num_threads: int, num_arch: int = NUM_ARCH_REGS) -> None:
+        self.num_threads = num_threads
+        self.num_arch = num_arch
+        self._map: list[list[int]] = [[-1] * num_arch for _ in range(num_threads)]
+
+    def get(self, tid: int, arch: int) -> int:
+        """Current physical register of (*tid*, *arch*)."""
+        preg = self._map[tid][arch]
+        if preg < 0:
+            raise RuntimeError(f"thread {tid} arch r{arch} has no mapping")
+        return preg
+
+    def set(self, tid: int, arch: int, preg: int) -> int:
+        """Update the mapping; returns the previous physical register."""
+        prev = self._map[tid][arch]
+        self._map[tid][arch] = preg
+        return prev
+
+    def mapping_valid(self, tid: int, arch: int, preg: int) -> bool:
+        """Is *preg* still (*tid*, *arch*)'s current mapping?
+
+        True means no younger in-flight instruction has renamed the
+        register — the paper's commit-time validity check for register
+        merging.
+        """
+        return self._map[tid][arch] == preg

@@ -1,0 +1,95 @@
+"""Physical register file with reference-counted free list.
+
+A physical register may be mapped by several (thread, architected-register)
+RAT entries at once — that is exactly how MMT shares one execution result
+between threads.  A register is freed when its last mapping claim dies
+*and* no in-flight instruction still lists it as a source:
+
+* a mapping claim is created per thread at rename (or at machine reset for
+  the initial architectural state) and dies when the overwriting
+  instruction for that (thread, register) commits, or when the claim is
+  undone by a squash;
+* source claims are taken at rename and released when the consumer commits
+  or is squashed.
+"""
+
+from __future__ import annotations
+
+
+class OutOfPhysRegs(RuntimeError):
+    """No free physical registers (rename must stall before this is raised)."""
+
+
+class PhysRegFile:
+    """Values, ready bits, and reference counts for physical registers."""
+
+    def __init__(self, num_regs: int) -> None:
+        self.num_regs = num_regs
+        self.value: list = [0] * num_regs
+        self.ready: list[bool] = [True] * num_regs
+        self._map_refs = [0] * num_regs
+        self._src_refs = [0] * num_regs
+        self._free: list[int] = list(range(num_regs - 1, -1, -1))
+        self.allocations = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------ allocation
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def alloc(self, map_claims: int) -> int:
+        """Allocate a register with *map_claims* initial mapping claims."""
+        if not self._free:
+            raise OutOfPhysRegs("physical register file exhausted")
+        preg = self._free.pop()
+        self._map_refs[preg] = map_claims
+        self._src_refs[preg] = 0
+        self.ready[preg] = False
+        self.value[preg] = None
+        self.allocations += 1
+        in_use = self.num_regs - len(self._free)
+        if in_use > self.high_water:
+            self.high_water = in_use
+        return preg
+
+    def _maybe_free(self, preg: int) -> None:
+        if self._map_refs[preg] == 0 and self._src_refs[preg] == 0:
+            self._free.append(preg)
+
+    # ------------------------------------------------------------ refcounting
+    def add_map_claim(self, preg: int) -> None:
+        """A new (thread, arch reg) mapping now references *preg*."""
+        self._map_refs[preg] += 1
+
+    def drop_map_claim(self, preg: int) -> None:
+        """A mapping claim on *preg* died (overwriter committed, or squash)."""
+        self._map_refs[preg] -= 1
+        if self._map_refs[preg] < 0:
+            raise RuntimeError(f"negative map refcount on p{preg}")
+        self._maybe_free(preg)
+
+    def add_src_claim(self, preg: int) -> None:
+        """An in-flight consumer references *preg* as a source."""
+        self._src_refs[preg] += 1
+
+    def drop_src_claim(self, preg: int) -> None:
+        """A consumer of *preg* committed or was squashed."""
+        self._src_refs[preg] -= 1
+        if self._src_refs[preg] < 0:
+            raise RuntimeError(f"negative source refcount on p{preg}")
+        self._maybe_free(preg)
+
+    # ----------------------------------------------------------------- values
+    def write(self, preg: int, value) -> None:
+        """Write back a result and mark the register ready."""
+        self.value[preg] = value
+        self.ready[preg] = True
+
+    def set_initial(self, preg: int, value) -> None:
+        """Install an initial architectural value (machine reset)."""
+        self.value[preg] = value
+        self.ready[preg] = True
+
+    def refs(self, preg: int) -> tuple[int, int]:
+        """(map_refs, src_refs) — for tests and invariant checks."""
+        return self._map_refs[preg], self._src_refs[preg]

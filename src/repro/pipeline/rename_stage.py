@@ -1,0 +1,167 @@
+"""Split + rename + dispatch.
+
+The split stage (paper §4.2.2) sits between decode and the RAT: each
+fetch-identical instruction is partitioned by the Register Sharing Table
+into the minimal set of execute-identical pieces (Table 2's decode rows,
+including the LVIP consultation for multi-execution loads and the forced
+split of TID, whose result is thread-specific by definition).
+
+Rename then reads the leader thread's mappings once per piece, allocates a
+single physical destination recorded in *every* owning thread's RAT
+(§4.2.4), logs per-thread previous mappings for undo, and dispatches into
+the ROB, issue queue, and (for memory ops) the LSQ.  An instruction group
+only leaves the decode buffer when every piece finds resources — splitting
+never half-dispatches.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WorkloadType
+from repro.core.itid import first_thread, popcount, threads_of
+from repro.core.splitter import split_itid
+from repro.isa.opcodes import Opcode
+from repro.pipeline.dyninst import DynInst, InstState
+
+
+class RenameStageMixin:
+    """Split/rename/dispatch logic for :class:`~repro.pipeline.smt.SMTCore`."""
+
+    def rename_stage(self) -> None:
+        cfg = self.config
+        width = cfg.issue_width
+        while width > 0 and self.decode_buffer:
+            head = self.decode_buffer[0]
+            if head.dead:
+                self.decode_buffer.pop(0)
+                continue
+            pieces, taint_mask = self._split(head)
+            if len(pieces) > width:
+                break
+            if not self._resources_available(pieces):
+                break
+            self.decode_buffer.pop(0)
+            self.stats.split_stage_inputs += 1
+            self.stats.split_stage_outputs += len(pieces)
+            if len(pieces) > 1:
+                self.stats.splits_performed += 1
+                self._repoint_branch_waiters(head, pieces)
+            for piece in pieces:
+                self._rename_one(piece)
+            if self.mmt.shared_fetch and head.inst.dst is not None:
+                self.rst.update_dest(
+                    head.inst.dst,
+                    head.itid if len(pieces) == 1 else sum(p.itid for p in pieces),
+                    [p.itid for p in pieces],
+                    src_taint_mask=taint_mask,
+                )
+            width -= len(pieces)
+
+    # ------------------------------------------------------------- splitting
+    def _split(self, di: DynInst) -> tuple[list[DynInst], int]:
+        """Partition *di*; returns (pieces, source-taint mask)."""
+        if not self.mmt.shared_fetch or di.num_threads == 1:
+            return [di], 0
+        inst = di.inst
+        if inst.op in (Opcode.SEND, Opcode.TRECV):
+            # Message operations have per-thread side effects on the shared
+            # network: always one instruction per owning thread.
+            itids = [1 << t for t in threads_of(di.itid)]
+            return self._materialize(di, itids), 0
+        if inst.op is Opcode.TID:
+            # Thread-id reads split by the *software* thread ids the OS
+            # assigned: distinct ids (normal SPMD) split per thread, while
+            # the Limit configuration's identical clones stay merged.
+            groups: dict[int, int] = {}
+            for t in threads_of(di.itid):
+                soft = self.job.soft_tids[t]
+                groups[soft] = groups.get(soft, 0) | (1 << t)
+            itids = sorted(groups.values(), key=lambda m: (-popcount(m), m))
+            return self._materialize(di, itids), 0
+
+        decision = split_itid(
+            di.itid, inst.srcs, self.rst, allow_merge=self.mmt.shared_execute
+        )
+        itids = decision.itids
+        taint_mask = self.rst.taint_mask(inst.srcs) if self.mmt.shared_execute else 0
+
+        if (
+            inst.is_load
+            and self.job.wtype is not WorkloadType.MULTI_THREADED
+            and self.mmt.shared_execute
+            and any(popcount(eid) >= 2 for eid in itids)
+        ):
+            # Table 2: ME execute-identical loads consult the LVIP.
+            self.stats.lvip_checks += 1
+            if self.lvip.predict_identical(di.pc):
+                self.stats.lvip_predict_identical += 1
+            else:
+                itids = [1 << t for t in threads_of(di.itid)]
+
+        pieces = self._materialize(di, itids)
+        if self.mmt.register_merging:
+            for piece in pieces:
+                if piece.num_threads >= 2 and self.rst.eid_uses_merge(
+                    piece.itid, inst.srcs
+                ):
+                    piece.merged_via_regmerge = True
+        if inst.is_load and self.job.wtype is not WorkloadType.MULTI_THREADED:
+            for piece in pieces:
+                if piece.num_threads >= 2:
+                    piece.lvip_predicted_identical = True
+        return pieces, taint_mask
+
+    @staticmethod
+    def _materialize(di: DynInst, itids: list[int]) -> list[DynInst]:
+        if len(itids) == 1:
+            return [di]
+        return [di.clone_for(eid) for eid in itids]
+
+    def _repoint_branch_waiters(self, head: DynInst, pieces: list[DynInst]) -> None:
+        """Threads stalled on a fetched control instruction must wait on the
+        piece that owns them once it splits."""
+        for tid in range(self.num_threads):
+            if self.stalled_on_branch[tid] is head:
+                for piece in pieces:
+                    if piece.itid >> tid & 1:
+                        self.stalled_on_branch[tid] = piece
+                        break
+
+    # ------------------------------------------------------------- resources
+    def _resources_available(self, pieces: list[DynInst]) -> bool:
+        cfg = self.config
+        if len(self.rob) + len(pieces) > cfg.rob_size:
+            self.stats.rename_stalls_rob += 1
+            return False
+        if len(self.iq) + len(pieces) > cfg.iq_size:
+            self.stats.rename_stalls_iq += 1
+            return False
+        if pieces[0].inst.is_mem and len(self.lsq) + len(pieces) > cfg.lsq_size:
+            self.stats.rename_stalls_lsq += 1
+            return False
+        if pieces[0].inst.dst is not None and self.regfile.free_count() < len(pieces):
+            self.stats.rename_stalls_regs += 1
+            return False
+        return True
+
+    # ---------------------------------------------------------------- rename
+    def _rename_one(self, piece: DynInst) -> None:
+        inst = piece.inst
+        leader = first_thread(piece.itid)
+        piece.psrcs = [self.rat.get(leader, reg) for reg in inst.srcs]
+        for preg in piece.psrcs:
+            self.regfile.add_src_claim(preg)
+        if inst.dst is not None:
+            preg = self.regfile.alloc(map_claims=piece.num_threads)
+            piece.pdst = preg
+            for tid in threads_of(piece.itid):
+                piece.prev_map[tid] = self.rat.set(tid, inst.dst, preg)
+            self.regmerge.on_writer_allocated(piece.itid, inst.dst)
+        piece.state = InstState.WAITING
+        piece.is_exec_merged = piece.num_threads >= 2
+        self.rob.append(piece)
+        for tid in threads_of(piece.itid):
+            self.thread_queues[tid].append(piece)
+        self.iq.append(piece)
+        if inst.is_mem:
+            self.lsq.allocate(piece)
+        self.stats.renamed_entries += 1

@@ -1,0 +1,113 @@
+"""Thread-selective squash: the LVIP misprediction rollback (§4.2.5).
+
+When a merged multi-execution load returns differing values, the threads
+that disagree with the kept (leader) value must discard everything younger
+than the load: their RAT updates are undone through per-instruction undo
+logs, their oracle records are pushed back onto a replay queue so fetch can
+re-issue them, and they leave their fetch group.  Instructions merged
+across agreeing and disagreeing threads merely shrink their ITID; an
+instruction whose ITID empties dies entirely.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.dyninst import DynInst
+
+
+def squash_thread(core, tid: int, after_seq: int) -> int:
+    """Squash all of *tid*'s in-flight work younger than *after_seq*.
+
+    Returns the number of squashed thread-instructions.  Replay records are
+    queued in program order so fetch transparently re-issues them.
+    """
+    bit = 1 << tid
+    squashed = 0
+
+    # Decode buffer: the youngest instructions, with no RAT effects yet.
+    buffer_records = []
+    survivors = []
+    for di in core.decode_buffer:
+        if di.itid & bit and di.seq > after_seq:
+            buffer_records.append(di.execs[tid])
+            di.drop_thread(tid)
+            squashed += 1
+            core.icount[tid] -= 1
+            if not di.itid:
+                di.dead = True
+                continue
+        survivors.append(di)
+    core.decode_buffer[:] = survivors
+
+    # Renamed instructions: walk the ROB newest-first so RAT undo is exact.
+    rob_records = []
+    for di in reversed(core.rob):
+        if not di.itid & bit or di.seq <= after_seq:
+            continue
+        rob_records.append(di.execs[tid])
+        _undo_rename_for_thread(core, di, tid)
+        di.drop_thread(tid)
+        squashed += 1
+        core.icount[tid] -= 1
+        core.thread_queues[tid].remove(di)
+        if not di.itid:
+            _remove_entirely(core, di)
+
+    # Program order: ROB instructions (collected newest-first, so reversed)
+    # are all older than decode-buffer ones.  Any records already queued
+    # for replay are younger still: keep them behind the new ones.
+    records = rob_records[::-1] + buffer_records
+    core.replay[tid].extendleft(reversed(records))
+
+    core.sync.isolate(tid)
+    core.fetch_stall_until[tid] = max(
+        core.fetch_stall_until[tid], core.cycle + core.config.lvip_flush_penalty
+    )
+    waiting = core.stalled_on_branch[tid]
+    if waiting is not None and (waiting.dead or not waiting.itid & bit):
+        core.stalled_on_branch[tid] = None
+
+    _recompute_writer_bits(core, tid)
+    core.stats.lvip_squashed_insts += squashed
+    return squashed
+
+
+def _undo_rename_for_thread(core, di: DynInst, tid: int) -> None:
+    """Reverse *di*'s rename effects for thread *tid* (newest-first order)."""
+    dst = di.inst.dst
+    if dst is None:
+        return
+    current = di.dest_phys_for(tid)
+    if not core.rat.mapping_valid(tid, dst, current):
+        raise RuntimeError(
+            f"squash undo out of order: t{tid} r{dst} not mapped to p{current}"
+        )
+    core.rat.set(tid, dst, di.prev_map[tid])
+    core.regfile.drop_map_claim(current)
+    # The RST may claim tid shares dst with other threads based on this
+    # (now dead) mapping; conservatively clear all of tid's pairs for dst.
+    for u in range(core.num_threads):
+        if u != tid:
+            core.rst.set_pair(dst, tid, u, False)
+
+
+def _remove_entirely(core, di: DynInst) -> None:
+    """Every owner squashed: release all remaining resources."""
+    di.dead = True
+    core.rob.remove(di)
+    if di in core.iq:
+        core.iq.remove(di)
+    if di.inst.is_mem and di in core.lsq.entries:
+        core.lsq.remove(di)
+    for preg in di.psrcs:
+        core.regfile.drop_src_claim(preg)
+
+
+def _recompute_writer_bits(core, tid: int) -> None:
+    """Rebuild the register-merge unit's no-active-writer bits for *tid*."""
+    bits = core.regmerge.no_active_writer[tid]
+    for reg in range(len(bits)):
+        bits[reg] = True
+    bit = 1 << tid
+    for di in core.rob:
+        if di.itid & bit and di.inst.dst is not None:
+            bits[di.inst.dst] = False

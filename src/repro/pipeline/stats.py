@@ -1,0 +1,135 @@
+"""Simulation statistics.
+
+Counter conventions:
+
+* *thread-instructions* count one unit per owning thread — a merged
+  instruction with 3 threads in its ITID contributes 3.  All of the paper's
+  percentage breakdowns (Figures 1, 5(b), 5(d)) are over thread-instructions,
+  since that is the work a traditional SMT would have performed.
+* *entries* count pipeline slots — a merged instruction contributes 1.  The
+  gap between the two is exactly MMT's savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sync import FetchMode
+
+
+@dataclass
+class SimStats:
+    """All counters produced by one simulation run."""
+
+    cycles: int = 0
+
+    # Fetch.
+    fetched_thread_insts: int = 0
+    fetched_entries: int = 0
+    fetch_sessions: int = 0  # (group, cycle) fetch activations
+    fetched_by_mode: dict[FetchMode, int] = field(
+        default_factory=lambda: {mode: 0 for mode in FetchMode}
+    )
+    icache_stall_cycles: int = 0
+    fetch_stall_mispredict_cycles: int = 0
+
+    # Decode / split.
+    split_stage_inputs: int = 0
+    split_stage_outputs: int = 0
+    splits_performed: int = 0
+
+    # Rename / dispatch.
+    renamed_entries: int = 0
+    rename_stalls_regs: int = 0
+    rename_stalls_rob: int = 0
+    rename_stalls_iq: int = 0
+    rename_stalls_lsq: int = 0
+
+    # Issue / execute.
+    issued_entries: int = 0
+    issued_fpu_entries: int = 0
+    executed_entries: int = 0
+    fu_contention_stalls: int = 0
+    regfile_reads: int = 0
+    regfile_writes: int = 0
+
+    # Memory.
+    load_accesses: int = 0
+    store_accesses: int = 0
+    ldst_port_stalls: int = 0
+    store_forwards: int = 0
+
+    # Branches.
+    branches_fetched: int = 0
+    branch_mispredicts: int = 0
+    divergences_at_fetch: int = 0
+
+    # Software remerge hints (extension).
+    hint_parks: int = 0
+    hint_releases: int = 0
+
+    # LVIP.
+    lvip_checks: int = 0
+    lvip_predict_identical: int = 0
+    lvip_mispredicts: int = 0
+    lvip_squashed_insts: int = 0
+
+    # Commit.
+    committed_thread_insts: int = 0
+    committed_entries: int = 0
+    committed_per_thread: dict[int, int] = field(default_factory=dict)
+    # Thread-instructions committed merged with >=2 threads (one execution
+    # served several threads): the paper's execute-identical instructions.
+    committed_exec_identical: int = 0
+    # ... of which the merge was enabled by commit-time register merging.
+    committed_exec_identical_regmerge: int = 0
+    # Thread-instructions fetched merged but executed split: fetch-identical.
+    committed_fetch_identical: int = 0
+    register_merge_attempts: int = 0
+    register_merge_successes: int = 0
+
+    halted_threads: int = 0
+
+    def ipc(self) -> float:
+        """Committed thread-instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.committed_thread_insts / self.cycles
+
+    def mode_breakdown(self) -> dict[str, float]:
+        """Fraction of fetched thread-instructions per fetch mode (Fig 5(d))."""
+        total = sum(self.fetched_by_mode.values())
+        if not total:
+            return {mode.value: 0.0 for mode in FetchMode}
+        return {
+            mode.value: count / total for mode, count in self.fetched_by_mode.items()
+        }
+
+    def identified_breakdown(self) -> dict[str, float]:
+        """Fractions for Figure 5(b), over committed thread-instructions.
+
+        Keys: ``exec_identical`` (without register merging),
+        ``exec_identical_regmerge`` (merged only thanks to register
+        merging), ``fetch_identical`` (fetched together, executed apart),
+        ``not_identical``.
+        """
+        total = self.committed_thread_insts
+        if not total:
+            return {
+                "exec_identical": 0.0,
+                "exec_identical_regmerge": 0.0,
+                "fetch_identical": 0.0,
+                "not_identical": 0.0,
+            }
+        exec_plain = (
+            self.committed_exec_identical - self.committed_exec_identical_regmerge
+        )
+        not_identical = (
+            total - self.committed_exec_identical - self.committed_fetch_identical
+        )
+        return {
+            "exec_identical": exec_plain / total,
+            "exec_identical_regmerge": self.committed_exec_identical_regmerge / total,
+            "fetch_identical": self.committed_fetch_identical / total,
+            "not_identical": not_identical / total,
+        }

@@ -1,0 +1,21 @@
+"""Energy model (Wattch-style) and hardware budget (Table 3)."""
+
+from repro.power.budget import (
+    BudgetRow,
+    hardware_budget,
+    storage_overhead_fraction,
+    total_storage_bits,
+)
+from repro.power.model import energy_of_run, energy_per_job
+from repro.power.params import EnergyBreakdown, EnergyParams
+
+__all__ = [
+    "BudgetRow",
+    "hardware_budget",
+    "storage_overhead_fraction",
+    "total_storage_bits",
+    "energy_of_run",
+    "energy_per_job",
+    "EnergyBreakdown",
+    "EnergyParams",
+]

@@ -1,0 +1,104 @@
+"""Activity-based energy model (paper §6.2, Figure 6).
+
+Consumes the statistics of a finished simulation plus the component
+counters of the core's structures, and produces an
+:class:`~repro.power.params.EnergyBreakdown` with the paper's three
+components: cache energy, MMT-overhead energy, and everything else.
+"""
+
+from __future__ import annotations
+
+from repro.power.params import EnergyBreakdown, EnergyParams
+
+
+def energy_of_run(core, params: EnergyParams | None = None) -> EnergyBreakdown:
+    """Energy consumed by a finished :class:`~repro.pipeline.smt.SMTCore` run."""
+    params = params or EnergyParams()
+    stats = core.stats
+    mem = core.hierarchy.event_counts()
+    detail: dict[str, float] = {}
+
+    # --------------------------------------------------------------- caches
+    detail["l1i"] = mem.l1i_accesses * params.l1i_access
+    detail["l1d"] = mem.l1d_accesses * params.l1d_access
+    detail["l2"] = mem.l2_accesses * params.l2_access
+    detail["dram"] = mem.dram_accesses * params.dram_access
+    cache = detail["l1i"] + detail["l1d"] + detail["l2"] + detail["dram"]
+
+    # --------------------------------------------------------- MMT overhead
+    fhb_records = sum(fhb.records for fhb in core.sync.fhbs)
+    fhb_searches = sum(fhb.searches for fhb in core.sync.fhbs)
+    detail["fhb"] = (
+        fhb_records * params.fhb_record + fhb_searches * params.fhb_search
+    )
+    detail["rst"] = (
+        core.rst.updates * params.rst_update
+        + (stats.cycles * params.rst_cycle if core.mmt.shared_fetch else 0.0)
+    )
+    detail["lvip"] = core.lvip.predictions * params.lvip_access
+    detail["split_stage"] = (
+        stats.split_stage_outputs * params.split_stage_entry
+        if core.mmt.shared_fetch
+        else 0.0
+    )
+    detail["regmerge"] = core.regmerge.attempts * params.regmerge_check
+    detail["mmt_static"] = (
+        stats.cycles * params.mmt_static_per_cycle
+        if core.mmt.shared_fetch
+        else 0.0
+    )
+    overhead = (
+        detail["fhb"]
+        + detail["rst"]
+        + detail["lvip"]
+        + detail["split_stage"]
+        + detail["regmerge"]
+        + detail["mmt_static"]
+    )
+
+    # ----------------------------------------------------------- everything
+    detail["frontend"] = (
+        stats.fetched_entries * (params.fetch_entry + params.decode_entry)
+        + core.bpred.lookups * params.bpred_lookup
+        + core.btb.lookups * params.btb_lookup
+    )
+    detail["rename"] = stats.renamed_entries * params.rename_entry
+    detail["window"] = (
+        stats.renamed_entries * (params.rob_entry + params.iq_entry)
+        + (stats.load_accesses + stats.store_accesses) * params.lsq_entry
+        + stats.issued_entries * params.issue_entry
+        + stats.committed_entries * params.commit_entry
+    )
+    detail["regfile"] = (
+        stats.regfile_reads * params.regfile_read
+        + stats.regfile_writes * params.regfile_write
+    )
+    fpu = stats.issued_fpu_entries
+    alu = max(0, stats.issued_entries - fpu)
+    detail["fu"] = alu * params.alu_op + fpu * params.fpu_op
+    detail["static"] = stats.cycles * params.static_per_cycle
+    other = (
+        detail["frontend"]
+        + detail["rename"]
+        + detail["window"]
+        + detail["regfile"]
+        + detail["fu"]
+        + detail["static"]
+    )
+
+    return EnergyBreakdown(
+        cache=cache, mmt_overhead=overhead, other=other, detail=detail
+    )
+
+
+def energy_per_job(core, params: EnergyParams | None = None) -> float:
+    """Total energy divided by committed thread-instructions.
+
+    Figure 6 plots energy *per job completed*; committed thread-instructions
+    are proportional to jobs for a fixed workload, and this normalisation is
+    also meaningful when thread counts differ (multi-execution doubles the
+    work when doubling threads; multi-threaded splits the same work).
+    """
+    breakdown = energy_of_run(core, params)
+    work = max(1, core.stats.committed_thread_insts)
+    return breakdown.total / work

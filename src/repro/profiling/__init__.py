@@ -1,0 +1,26 @@
+"""Trace profiling: the paper's motivation study (Figures 1 and 2)."""
+
+from repro.profiling.divergence import (
+    FIG2_BUCKETS,
+    divergence_histogram,
+    mean_gap_length_instructions,
+)
+from repro.profiling.sharing import (
+    DivergentGap,
+    PairSharing,
+    analyze_job,
+    analyze_pair,
+)
+from repro.profiling.tracing import capture_job_traces, taken_branch_count
+
+__all__ = [
+    "FIG2_BUCKETS",
+    "divergence_histogram",
+    "mean_gap_length_instructions",
+    "DivergentGap",
+    "PairSharing",
+    "analyze_job",
+    "analyze_pair",
+    "capture_job_traces",
+    "taken_branch_count",
+]

@@ -1,0 +1,43 @@
+"""Divergent-path-length histogram (paper §3.3, Figure 2).
+
+For every divergence between common subtraces, the paper measures the
+*difference* between the lengths of the two divergent paths, in taken
+branches, and reports the cumulative fraction within 16, 32, 64, ... taken
+branches.  A small difference means a short taken-branch history (the FHB)
+suffices to detect the remerge point.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.sharing import DivergentGap
+
+#: The Figure 2 bucket edges (cumulative "within N taken branches").
+FIG2_BUCKETS = (16, 32, 64, 128, 256, 512)
+
+
+def divergence_histogram(
+    gaps: list[DivergentGap], buckets: tuple[int, ...] = FIG2_BUCKETS
+) -> dict[int, float]:
+    """Cumulative fraction of divergences within each bucket.
+
+    Returns ``{bucket: fraction}``; a divergence counts toward bucket *b*
+    when its taken-branch length difference is <= *b*.
+    """
+    if not gaps:
+        return {bucket: 1.0 for bucket in buckets}
+    total = len(gaps)
+    histogram = {}
+    for bucket in buckets:
+        within = sum(
+            1 for gap in gaps if gap.branch_length_difference <= bucket
+        )
+        histogram[bucket] = within / total
+    return histogram
+
+
+def mean_gap_length_instructions(gaps: list[DivergentGap]) -> float:
+    """Average divergent-path length in instructions (both sides)."""
+    if not gaps:
+        return 0.0
+    total = sum(gap.a_instructions + gap.b_instructions for gap in gaps)
+    return total / (2 * len(gaps))

@@ -1,0 +1,217 @@
+"""Instruction-sharing analysis (paper §3.2, Figure 1).
+
+The paper profiles how many instructions of two execution contexts are
+*fetch-identical* (the same static instruction at the same logical point,
+allowing the paths to diverge and remerge) and how many of those are
+*execute-identical* (identical operand values, so one execution would
+serve both).  We follow the paper's methodology of finding the common
+subtraces of the two dynamic traces:
+
+1. each trace is compressed into its sequence of dynamic basic blocks;
+2. the longest matching block structure is found (difflib's Ratcliff-
+   Obershelp matcher — equivalent to finding common subtraces);
+3. matched blocks expand into per-instruction matches, where operand (and,
+   for loads, result) values decide execute-identity;
+4. the unmatched gaps between common subtraces are the divergent path
+   segments used by the Figure 2 histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
+
+from repro.core.regmerge import values_equal
+from repro.func.executor import Executed
+
+
+@dataclass
+class DivergentGap:
+    """One divergence: the two unmatched trace segments between matches."""
+
+    a_instructions: int
+    b_instructions: int
+    a_taken_branches: int
+    b_taken_branches: int
+
+    @property
+    def branch_length_difference(self) -> int:
+        """|len(path_a) - len(path_b)| in taken branches (Figure 2)."""
+        return abs(self.a_taken_branches - self.b_taken_branches)
+
+
+@dataclass
+class PairSharing:
+    """Sharing statistics for one pair of contexts."""
+
+    total_a: int = 0
+    total_b: int = 0
+    fetch_identical_pairs: int = 0
+    execute_identical_pairs: int = 0
+    gaps: list[DivergentGap] = field(default_factory=list)
+
+    @property
+    def total_pairs_possible(self) -> int:
+        """Upper bound on matched pairs: the shorter trace's length."""
+        return min(self.total_a, self.total_b)
+
+    @property
+    def fetch_identical_fraction(self) -> float:
+        """Fraction of instructions fetchable together (includes X-id)."""
+        denom = max(1, self.total_pairs_possible)
+        return self.fetch_identical_pairs / denom
+
+    @property
+    def execute_identical_fraction(self) -> float:
+        denom = max(1, self.total_pairs_possible)
+        return self.execute_identical_pairs / denom
+
+    @property
+    def not_identical_fraction(self) -> float:
+        return max(0.0, 1.0 - self.fetch_identical_fraction)
+
+
+def _basic_blocks(trace: list[Executed]) -> list[tuple[int, int, int]]:
+    """Decompose *trace* into (start_pc, length, start_index) blocks.
+
+    A block ends after any taken control transfer (next_pc != pc+1).
+    """
+    blocks = []
+    start_index = 0
+    for index, rec in enumerate(trace):
+        if rec.next_pc != rec.pc + 1 or index == len(trace) - 1:
+            blocks.append(
+                (trace[start_index].pc, index - start_index + 1, start_index)
+            )
+            start_index = index + 1
+    if start_index < len(trace):
+        blocks.append(
+            (trace[start_index].pc, len(trace) - start_index, start_index)
+        )
+    return blocks
+
+
+def _execute_identical(a: Executed, b: Executed) -> bool:
+    """Identical operand values; loads additionally need identical data."""
+    if len(a.src_vals) != len(b.src_vals):
+        return False
+    for va, vb in zip(a.src_vals, b.src_vals):
+        if not values_equal(va, vb):
+            return False
+    if a.inst.is_load:
+        return values_equal(a.result, b.result)
+    return True
+
+
+def analyze_pair(
+    trace_a: list[Executed], trace_b: list[Executed]
+) -> PairSharing:
+    """Common-subtrace sharing analysis of two per-context traces."""
+    result = PairSharing(total_a=len(trace_a), total_b=len(trace_b))
+    blocks_a = _basic_blocks(trace_a)
+    blocks_b = _basic_blocks(trace_b)
+    keys_a = [(pc, length) for pc, length, _ in blocks_a]
+    keys_b = [(pc, length) for pc, length, _ in blocks_b]
+    matcher = SequenceMatcher(None, keys_a, keys_b, autojunk=False)
+
+    prev_end_a = 0  # instruction index after the last matched block in A
+    prev_end_b = 0
+    for match in matcher.get_matching_blocks():
+        if match.size:
+            gap_start_a = blocks_a[match.a][2]
+            gap_start_b = blocks_b[match.b][2]
+            if gap_start_a > prev_end_a or gap_start_b > prev_end_b:
+                gap = _make_gap(
+                    trace_a[prev_end_a:gap_start_a],
+                    trace_b[prev_end_b:gap_start_b],
+                    result,
+                )
+                if gap is not None:
+                    result.gaps.append(gap)
+        for offset in range(match.size):
+            _, length, ia = blocks_a[match.a + offset]
+            _, _, ib = blocks_b[match.b + offset]
+            for k in range(length):
+                rec_a = trace_a[ia + k]
+                rec_b = trace_b[ib + k]
+                result.fetch_identical_pairs += 1
+                if _execute_identical(rec_a, rec_b):
+                    result.execute_identical_pairs += 1
+        if match.size:
+            last_a = blocks_a[match.a + match.size - 1]
+            last_b = blocks_b[match.b + match.size - 1]
+            prev_end_a = last_a[2] + last_a[1]
+            prev_end_b = last_b[2] + last_b[1]
+    if prev_end_a < len(trace_a) or prev_end_b < len(trace_b):
+        gap = _make_gap(trace_a[prev_end_a:], trace_b[prev_end_b:], result)
+        if gap is not None:
+            result.gaps.append(gap)
+    return result
+
+
+def _make_gap(
+    seg_a: list[Executed], seg_b: list[Executed], result: PairSharing
+) -> DivergentGap | None:
+    """Build a divergence record, first peeling off the lockstep edges.
+
+    Block-level matching is coarse at divergence boundaries: the two
+    segments usually share a common prefix (up to the diverging branch) and
+    sometimes a suffix.  Those instruction pairs are fetch-identical and
+    are credited to *result*; only the true divergent middles form the gap.
+    """
+    lead = 0
+    limit = min(len(seg_a), len(seg_b))
+    while lead < limit and seg_a[lead].pc == seg_b[lead].pc:
+        result.fetch_identical_pairs += 1
+        if _execute_identical(seg_a[lead], seg_b[lead]):
+            result.execute_identical_pairs += 1
+        lead += 1
+    trail = 0
+    while (
+        trail < limit - lead
+        and seg_a[len(seg_a) - 1 - trail].pc == seg_b[len(seg_b) - 1 - trail].pc
+    ):
+        rec_a = seg_a[len(seg_a) - 1 - trail]
+        rec_b = seg_b[len(seg_b) - 1 - trail]
+        result.fetch_identical_pairs += 1
+        if _execute_identical(rec_a, rec_b):
+            result.execute_identical_pairs += 1
+        trail += 1
+    seg_a = seg_a[lead:len(seg_a) - trail]
+    seg_b = seg_b[lead:len(seg_b) - trail]
+    if not seg_a and not seg_b:
+        return None
+    return DivergentGap(
+        a_instructions=len(seg_a),
+        b_instructions=len(seg_b),
+        a_taken_branches=sum(
+            1 for rec in seg_a if rec.next_pc != rec.pc + 1 and rec.next_pc != rec.pc
+        ),
+        b_taken_branches=sum(
+            1 for rec in seg_b if rec.next_pc != rec.pc + 1 and rec.next_pc != rec.pc
+        ),
+    )
+
+
+def analyze_job(traces: list[list[Executed]]) -> PairSharing:
+    """Average pairwise sharing across all context pairs of a job.
+
+    With two contexts this is exactly the pair analysis; with more, the
+    paper's per-application numbers correspond to the average potential
+    between co-scheduled contexts.
+    """
+    pairs = [
+        analyze_pair(traces[i], traces[j])
+        for i in range(len(traces))
+        for j in range(i + 1, len(traces))
+    ]
+    if len(pairs) == 1:
+        return pairs[0]
+    merged = PairSharing()
+    for pair in pairs:
+        merged.total_a += pair.total_a
+        merged.total_b += pair.total_b
+        merged.fetch_identical_pairs += pair.fetch_identical_pairs
+        merged.execute_identical_pairs += pair.execute_identical_pairs
+        merged.gaps.extend(pair.gaps)
+    return merged

@@ -1,0 +1,45 @@
+"""Functional trace capture for the profiling study (§3.2, §3.3)."""
+
+from __future__ import annotations
+
+from repro.func.executor import Executed, FunctionalExecutor
+from repro.pipeline.job import Job
+
+
+def capture_job_traces(
+    job: Job, max_steps_per_context: int = 2_000_000
+) -> list[list[Executed]]:
+    """Run every context of *job* functionally; returns per-context traces.
+
+    Multi-threaded contexts share memory, so they are interleaved
+    round-robin (one instruction each per turn) — the profiling study only
+    needs per-thread instruction sequences, and our workloads keep
+    cross-thread memory read-only, so any fair interleaving yields the same
+    traces.
+    """
+    states = job.make_states()
+    executors = [FunctionalExecutor(state) for state in states]
+    traces: list[list[Executed]] = [[] for _ in states]
+    live = True
+    steps = 0
+    budget = max_steps_per_context * len(states)
+    while live:
+        live = False
+        for tid, executor in enumerate(executors):
+            if executor.state.halted:
+                continue
+            traces[tid].append(executor.step())
+            steps += 1
+            live = True
+        if steps > budget:
+            raise RuntimeError("profiling trace capture exceeded step budget")
+    return traces
+
+
+def taken_branch_count(trace: list[Executed]) -> int:
+    """Number of taken control transfers in *trace*."""
+    return sum(1 for rec in trace if rec.next_pc != rec.pc + 1 and not _is_halt(rec))
+
+
+def _is_halt(rec: Executed) -> bool:
+    return rec.next_pc == rec.pc

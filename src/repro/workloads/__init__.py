@@ -1,0 +1,18 @@
+"""Synthetic workloads standing in for the paper's benchmark suites."""
+
+from repro.workloads.dsl import ProgramBuilder
+from repro.workloads.generator import WorkloadBuild, build_workload
+from repro.workloads.message_passing import MPWorkloadBuild, build_mp_workload
+from repro.workloads.profiles import APP_ORDER, PROFILES, AppProfile, get_profile
+
+__all__ = [
+    "ProgramBuilder",
+    "MPWorkloadBuild",
+    "build_mp_workload",
+    "WorkloadBuild",
+    "build_workload",
+    "APP_ORDER",
+    "PROFILES",
+    "AppProfile",
+    "get_profile",
+]

@@ -1,0 +1,148 @@
+"""Program builder DSL.
+
+:class:`ProgramBuilder` assembles instruction lists programmatically with
+forward label references and a managed data segment — the workload
+generator uses it to synthesize the benchmark programs; tests use it for
+targeted instruction sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import WORD_SIZE, Program
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "generated", data_base: int = 0x1000) -> None:
+        self.name = name
+        self._pending: list[dict] = []
+        self._labels: dict[str, int] = {}
+        self._data: dict[int, int | float] = {}
+        self._symbols: dict[str, int] = {}
+        self._data_cursor = data_base
+
+    # ------------------------------------------------------------------ code
+    def label(self, name: str) -> str:
+        """Define code label *name* at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._pending)
+        return name
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """A unique, not-yet-placed label name."""
+        index = 0
+        while f"{prefix}{index}" in self._labels or any(
+            p.get("target") == f"{prefix}{index}" for p in self._pending
+        ):
+            index += 1
+        return f"{prefix}{index}"
+
+    def inst(
+        self,
+        op: Opcode,
+        rd: int | None = None,
+        rs1: int | None = None,
+        rs2: int | None = None,
+        imm: int | float | None = None,
+        target: str | int | None = None,
+    ) -> "ProgramBuilder":
+        """Append one instruction; *target* may be a label name."""
+        self._pending.append(
+            {"op": op, "rd": rd, "rs1": rs1, "rs2": rs2, "imm": imm, "target": target}
+        )
+        return self
+
+    # Convenience emitters for the common shapes.
+    def li(self, rd: int, imm: int | float) -> "ProgramBuilder":
+        op = Opcode.FLI if isinstance(imm, float) else Opcode.LI
+        return self.inst(op, rd=rd, imm=imm)
+
+    def la(self, rd: int, symbol: str) -> "ProgramBuilder":
+        return self.inst(Opcode.LI, rd=rd, imm=self._symbols[symbol])
+
+    def alu(self, op: Opcode, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self.inst(op, rd=rd, rs1=rs1, rs2=rs2)
+
+    def alui(self, op: Opcode, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self.inst(op, rd=rd, rs1=rs1, imm=imm)
+
+    def load(self, rd: int, base: int, disp: int = 0, fp: bool = False):
+        return self.inst(Opcode.FLW if fp else Opcode.LW, rd=rd, rs1=base, imm=disp)
+
+    def store(self, rs: int, base: int, disp: int = 0, fp: bool = False):
+        return self.inst(Opcode.FSW if fp else Opcode.SW, rs1=base, rs2=rs, imm=disp)
+
+    def branch(self, op: Opcode, rs1: int, rs2: int, target: str):
+        return self.inst(op, rs1=rs1, rs2=rs2, target=target)
+
+    def jump(self, target: str) -> "ProgramBuilder":
+        return self.inst(Opcode.J, target=target)
+
+    def halt(self) -> "ProgramBuilder":
+        return self.inst(Opcode.HALT)
+
+    # ------------------------------------------------------------------ data
+    def array(
+        self,
+        name: str,
+        values: Iterable[int | float],
+        base: int | None = None,
+    ) -> int:
+        """Place an array in the data segment; returns its byte address."""
+        if name in self._symbols:
+            raise ValueError(f"duplicate data symbol {name!r}")
+        if base is None:
+            base = self._data_cursor
+        if base % WORD_SIZE:
+            raise ValueError("array base must be word aligned")
+        addr = base
+        for value in values:
+            self._data[addr] = value
+            addr += WORD_SIZE
+        self._symbols[name] = base
+        self._data_cursor = max(self._data_cursor, addr)
+        return base
+
+    def reserve(self, name: str, words: int, base: int | None = None) -> int:
+        """Reserve a zero-filled array."""
+        return self.array(name, [0] * words, base=base)
+
+    def symbol(self, name: str) -> int:
+        return self._symbols[name]
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> Program:
+        """Resolve labels and produce the program."""
+        instructions = []
+        for pending in self._pending:
+            target = pending["target"]
+            if isinstance(target, str):
+                if target not in self._labels:
+                    raise ValueError(f"undefined label {target!r}")
+                target = self._labels[target]
+            instructions.append(
+                Instruction(
+                    pending["op"],
+                    rd=pending["rd"],
+                    rs1=pending["rs1"],
+                    rs2=pending["rs2"],
+                    imm=pending["imm"],
+                    target=target,
+                )
+            )
+        return Program(
+            instructions,
+            labels=dict(self._labels),
+            data=dict(self._data),
+            symbols=dict(self._symbols),
+            name=self.name,
+        )
+
+    def __len__(self) -> int:
+        return len(self._pending)

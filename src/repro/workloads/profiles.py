@@ -1,0 +1,195 @@
+"""Per-application workload profiles.
+
+The paper evaluates 16 applications (Table 1): six SPEC2000 and libsvm as
+*multi-execution* workloads, five SPLASH-2 and four Parsec programs as
+*multi-threaded* workloads.  We cannot run those binaries, so each
+application is represented by a synthetic SPMD program whose trace-level
+properties — the knobs below — are set to the per-application values the
+paper itself reports (Figure 1's sharing breakdown, Figure 2's divergence
+distribution, and the §6 discussion of which apps synchronize poorly).
+
+The knobs and what they control:
+
+* ``common_ops``/``private_ops`` — arithmetic per iteration operating on
+  context-identical vs context-private values: the execute-identical vs
+  merely fetch-identical balance of Figure 1.
+* ``divergence_rate``/``divergence_trips`` — how often contexts take
+  different paths and how asymmetric those paths are (in taken branches):
+  Figure 2's length-difference distribution and the DETECT/CATCHUP time of
+  Figure 5(d).
+* ``dispatch_handlers``/``dispatch_agree`` — irregular, data-selected
+  control flow (twolf/vpr/vortex-style): contexts that rarely sit at the
+  same PC, defeating the remerge mechanism as the paper observes.
+* ``input_similarity`` — multi-execution only: the fraction of private
+  input words identical across instances (drives LVIP behaviour).
+* ``fig1_exec``/``fig1_fetch`` — the paper's Figure 1 values for this
+  application, recorded as reproduction targets (EXPERIMENTS.md compares
+  against them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import WorkloadType
+
+ME = WorkloadType.MULTI_EXECUTION
+MT = WorkloadType.MULTI_THREADED
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Synthetic stand-in for one paper application."""
+
+    name: str
+    suite: str
+    wtype: WorkloadType
+    iterations: int = 48  # ME: per instance; MT: total, split across threads
+    common_ops: int = 24
+    private_ops: int = 8
+    shared_loads: int = 3
+    private_loads: int = 2
+    stores: int = 1
+    fp_frac: float = 0.3
+    ilp: int = 4
+    divergence_rate: float = 0.10
+    divergence_trips: tuple[int, int] = (2, 5)
+    dispatch_handlers: int = 0
+    dispatch_agree: float = 1.0
+    input_similarity: float = 0.90
+    remerge_regs: int = 1
+    fig1_exec: float = 0.35
+    fig1_fetch: float = 0.88
+
+
+#: The sixteen applications of the paper's Table 1.
+PROFILES: dict[str, AppProfile] = {
+    profile.name: profile
+    for profile in [
+        # ---------------------------------------------- SPEC2000 (ME) + SVM
+        AppProfile(
+            "ammp", "spec2000", ME,
+            iterations=44, common_ops=30, private_ops=11, fp_frac=0.45,
+            shared_loads=4, private_loads=2, divergence_rate=0.04,
+            divergence_trips=(2, 4), input_similarity=0.92,
+            fig1_exec=0.60, fig1_fetch=0.95,
+        ),
+        AppProfile(
+            "equake", "spec2000", ME,
+            iterations=40, common_ops=30, private_ops=6, fp_frac=0.50,
+            shared_loads=4, private_loads=2, divergence_rate=0.07,
+            divergence_trips=(2, 26), input_similarity=0.95, remerge_regs=2,
+            fig1_exec=0.55, fig1_fetch=0.90,
+        ),
+        AppProfile(
+            "mcf", "spec2000", ME,
+            iterations=44, common_ops=20, private_ops=13, fp_frac=0.05,
+            shared_loads=5, private_loads=2, divergence_rate=0.08,
+            divergence_trips=(1, 4), input_similarity=0.93, remerge_regs=2,
+            fig1_exec=0.45, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "twolf", "spec2000", ME,
+            iterations=40, common_ops=10, private_ops=12, fp_frac=0.10,
+            shared_loads=2, private_loads=3, divergence_rate=0.30,
+            divergence_trips=(2, 7), dispatch_handlers=6, dispatch_agree=0.55,
+            input_similarity=0.80, fig1_exec=0.22, fig1_fetch=0.88,
+        ),
+        AppProfile(
+            "vpr", "spec2000", ME,
+            iterations=40, common_ops=8, private_ops=14, fp_frac=0.15,
+            shared_loads=2, private_loads=3, divergence_rate=0.30,
+            divergence_trips=(1, 5), dispatch_handlers=5, dispatch_agree=0.60,
+            input_similarity=0.82, fig1_exec=0.15, fig1_fetch=0.85,
+        ),
+        AppProfile(
+            "vortex", "spec2000", ME,
+            iterations=36, common_ops=11, private_ops=11, fp_frac=0.02,
+            shared_loads=3, private_loads=3, divergence_rate=0.26,
+            divergence_trips=(3, 30), dispatch_handlers=7, dispatch_agree=0.55,
+            input_similarity=0.85, fig1_exec=0.25, fig1_fetch=0.82,
+        ),
+        AppProfile(
+            "libsvm", "svm", ME,
+            iterations=44, common_ops=16, private_ops=10, fp_frac=0.55,
+            shared_loads=4, private_loads=2, divergence_rate=0.16,
+            divergence_trips=(2, 6), input_similarity=0.85,
+            fig1_exec=0.30, fig1_fetch=0.90,
+        ),
+        # ------------------------------------------------------ SPLASH-2 (MT)
+        AppProfile(
+            "lu", "splash2", MT,
+            iterations=96, common_ops=8, private_ops=22, fp_frac=0.55,
+            shared_loads=2, private_loads=3, stores=2, divergence_rate=0.03,
+            divergence_trips=(1, 3), fig1_exec=0.15, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "fft", "splash2", MT,
+            iterations=96, common_ops=9, private_ops=20, fp_frac=0.60,
+            shared_loads=2, private_loads=3, stores=2, divergence_rate=0.03,
+            divergence_trips=(1, 3), remerge_regs=2,
+            fig1_exec=0.18, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "ocean", "splash2", MT,
+            iterations=88, common_ops=8, private_ops=20, fp_frac=0.50,
+            shared_loads=2, private_loads=4, stores=2, divergence_rate=0.06,
+            divergence_trips=(2, 5), fig1_exec=0.15, fig1_fetch=0.90,
+        ),
+        AppProfile(
+            "water-ns", "splash2", MT,
+            iterations=88, common_ops=24, private_ops=8, fp_frac=0.55,
+            shared_loads=4, private_loads=2, divergence_rate=0.05,
+            divergence_trips=(2, 8), remerge_regs=2,
+            fig1_exec=0.40, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "water-sp", "splash2", MT,
+            iterations=88, common_ops=25, private_ops=8, fp_frac=0.55,
+            shared_loads=4, private_loads=2, divergence_rate=0.05,
+            divergence_trips=(2, 6), fig1_exec=0.42, fig1_fetch=0.90,
+        ),
+        # -------------------------------------------------------- Parsec (MT)
+        AppProfile(
+            "blackscholes", "parsec", MT,
+            iterations=96, common_ops=14, private_ops=14, fp_frac=0.65,
+            shared_loads=3, private_loads=2, divergence_rate=0.04,
+            divergence_trips=(1, 3), fig1_exec=0.30, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "swaptions", "parsec", MT,
+            iterations=88, common_ops=24, private_ops=9, fp_frac=0.60,
+            shared_loads=3, private_loads=2, divergence_rate=0.05,
+            divergence_trips=(2, 5), fig1_exec=0.38, fig1_fetch=0.92,
+        ),
+        AppProfile(
+            "fluidanimate", "parsec", MT,
+            iterations=88, common_ops=23, private_ops=9, fp_frac=0.50,
+            shared_loads=3, private_loads=3, divergence_rate=0.08,
+            divergence_trips=(2, 6), fig1_exec=0.38, fig1_fetch=0.90,
+        ),
+        AppProfile(
+            "canneal", "parsec", MT,
+            iterations=80, common_ops=9, private_ops=14, fp_frac=0.15,
+            shared_loads=3, private_loads=4, divergence_rate=0.22,
+            divergence_trips=(2, 8), dispatch_handlers=5, dispatch_agree=0.65,
+            fig1_exec=0.20, fig1_fetch=0.85,
+        ),
+    ]
+}
+
+#: Paper Table 1 ordering: multi-execution first, then SPLASH-2, then Parsec.
+APP_ORDER = [
+    "ammp", "equake", "mcf", "twolf", "vortex", "vpr", "libsvm",
+    "lu", "fft", "ocean", "water-ns", "water-sp",
+    "blackscholes", "swaptions", "fluidanimate", "canneal",
+]
+
+
+def get_profile(name: str) -> AppProfile:
+    """Profile for application *name* (KeyError with suggestions otherwise)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

@@ -1,0 +1,91 @@
+"""Set-associative cache: hits, LRU, writebacks, set spreading."""
+
+import pytest
+
+from repro.mem.cache import Cache
+
+
+def small_cache(assoc=2, sets=4):
+    return Cache("T", assoc * sets * 64, assoc, 64)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("bad", 1000, 3, 64)
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    key = cache.line_key(0, 0)
+    assert cache.access(key) is False
+    assert cache.access(key) is True
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_consecutive_lines_use_different_sets():
+    """The regression that once sent every line to set 0: consecutive line
+    addresses must spread over the sets."""
+    cache = small_cache(assoc=1, sets=8)
+    for line in range(8):
+        cache.access(cache.line_key(0, line * 64))
+    for line in range(8):
+        assert cache.lookup(cache.line_key(0, line * 64))
+
+
+def test_lru_eviction_order():
+    cache = small_cache(assoc=2, sets=1)
+    k = [cache.line_key(0, i * 64) for i in range(3)]
+    cache.access(k[0])
+    cache.access(k[1])
+    cache.access(k[0])  # k0 now MRU
+    cache.access(k[2])  # evicts k1
+    assert cache.lookup(k[0])
+    assert not cache.lookup(k[1])
+    assert cache.lookup(k[2])
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = small_cache(assoc=1, sets=1)
+    a = cache.line_key(0, 0)
+    b = cache.line_key(0, 64)
+    cache.access(a, is_write=True)
+    cache.access(b)
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = small_cache(assoc=1, sets=1)
+    cache.access(cache.line_key(0, 0))
+    cache.access(cache.line_key(0, 64))
+    assert cache.stats.writebacks == 0
+
+
+def test_write_marks_dirty_on_hit():
+    cache = small_cache(assoc=1, sets=1)
+    a = cache.line_key(0, 0)
+    cache.access(a)  # clean fill
+    cache.access(a, is_write=True)  # dirty on hit
+    cache.access(cache.line_key(0, 64))
+    assert cache.stats.writebacks == 1
+
+
+def test_lookup_has_no_side_effects():
+    cache = small_cache()
+    key = cache.line_key(0, 0)
+    assert cache.lookup(key) is False
+    assert cache.stats.accesses == 0
+    assert cache.access(key) is False
+
+
+def test_asid_distinguishes_lines():
+    cache = small_cache()
+    cache.access(cache.line_key(1, 0))
+    assert not cache.lookup(cache.line_key(2, 0))
+
+
+def test_invalidate_all():
+    cache = small_cache()
+    key = cache.line_key(0, 0)
+    cache.access(key)
+    cache.invalidate_all()
+    assert not cache.lookup(key)

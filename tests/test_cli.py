@@ -1,0 +1,51 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import TARGETS, build_parser, main
+
+
+def test_list_target(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in TARGETS:
+        assert name in out
+
+
+def test_every_figure_has_a_handler_and_description():
+    for name, (handler, description) in TARGETS.items():
+        assert callable(handler)
+        assert description
+
+
+def test_tables_render(capsys):
+    for target in ("table3", "table4", "table5"):
+        assert main([target]) == 0
+    out = capsys.readouterr().out
+    assert "LVIP" in out
+    assert "ROB Size" in out
+    assert "Traditional SMT" in out
+
+
+def test_fig1_with_app_subset(capsys):
+    assert main(["fig1", "--apps", "ammp", "lu", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "ammp" in out and "lu" in out and "average" in out
+    assert "twolf" not in out
+
+
+def test_fig5a_with_app_subset(capsys):
+    assert main(["fig5a", "--apps", "ammp", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "MMT-FXR" in out and "geomean" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_scale_argument_parsed():
+    args = build_parser().parse_args(["fig1", "--scale", "0.5"])
+    assert args.scale == 0.5
+    assert args.apps is None

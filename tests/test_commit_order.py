@@ -1,0 +1,149 @@
+"""Commit ordering and memory-ordering behaviours of the backend."""
+
+from repro.core.config import MMTConfig
+from repro.isa.assembler import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.dyninst import InstState
+from repro.pipeline.job import Job
+from repro.pipeline.smt import SMTCore
+
+
+def stepwise(src, threads=1, config=None):
+    prog = assemble(src)
+    job = Job.multi_threaded("t", prog, threads)
+    core = SMTCore(
+        MachineConfig(num_threads=threads), config or MMTConfig.base(), job,
+    )
+    return core, job, prog
+
+
+def test_per_thread_commit_is_in_program_order():
+    """Track commit order via a monkeypatched _commit; it must follow each
+    thread's fetch sequence."""
+    src = "\n".join(f"addi r{1 + i % 6}, r{1 + i % 6}, {i}" for i in range(24))
+    src += "\nhalt"
+    core, _, _ = stepwise(src)
+    committed = []
+    original = type(core)._commit
+
+    def spy(self, di):
+        committed.append(di.seq)
+        return original(self, di)
+
+    type(core)._commit = spy
+    try:
+        core.run()
+    finally:
+        type(core)._commit = original
+    assert committed == sorted(committed)
+
+
+def test_merged_instruction_commits_once_for_all_threads():
+    src = """
+        li r5, 6
+    loop:
+        addi r5, r5, -1
+        bne r5, r0, loop
+        halt
+    """
+    core, _, _ = stepwise(src, threads=2, config=MMTConfig.mmt_fxr())
+    stats = core.run()
+    assert stats.committed_entries < stats.committed_thread_insts
+    assert stats.committed_per_thread[0] == stats.committed_per_thread[1]
+
+
+def test_store_to_load_forwarding_counted():
+    src = """
+        la r1, buf
+        li r2, 9
+        sw r2, 0(r1)
+        lw r3, 0(r1)
+        sw r3, 8(r1)
+        halt
+    .data 0x1000
+    buf: .word 0 0
+    """
+    core, job, prog = stepwise(src)
+    stats = core.run()
+    assert stats.store_forwards >= 1
+    assert job.address_spaces[0].load(0x1008) == 9
+
+
+def test_load_does_not_forward_from_younger_store():
+    src = """
+        la r1, buf
+        li r2, 1
+        lw r3, 0(r1)      # must see the initial value, not the store below
+        sw r2, 0(r1)
+        sw r3, 8(r1)
+        halt
+    .data 0x1000
+    buf: .word 77 0
+    """
+    core, job, _ = stepwise(src)
+    core.run()
+    assert job.address_spaces[0].load(0x1008) == 77
+
+
+def test_loads_wait_for_unresolved_older_store_addresses():
+    """A load after a store with a slow address computation still returns
+    the stored value (conservative LSQ ordering)."""
+    src = """
+        la r1, buf
+        li r4, 56
+        li r5, 7
+        div r6, r4, r5     # slow: the store's address depends on this
+        slli r6, r6, 3
+        add r6, r6, r1
+        li r2, 42
+        sw r2, 0(r6)       # buf[8] = 42, address known late
+        lw r3, 64(r1)      # same word, issued quickly
+        sw r3, 0(r1)
+        halt
+    .data 0x1000
+    buf: .word 0 0 0 0 0 0 0 0 0
+    """
+    core, job, _ = stepwise(src)
+    core.run()
+    assert job.address_spaces[0].load(0x1000) == 42
+
+
+def test_stores_only_touch_cache_at_commit():
+    src = """
+        la r1, buf
+        li r2, 5
+        sw r2, 0(r1)
+        sw r2, 8(r1)
+        halt
+    .data 0x1000
+    buf: .word 0 0
+    """
+    core, _, _ = stepwise(src)
+    stats = core.run()
+    assert stats.store_accesses == 2
+
+
+def test_rob_drains_completely():
+    core, _, _ = stepwise("li r1, 1\nhalt")
+    core.run()
+    assert not core.rob
+    assert all(not q for q in core.thread_queues)
+
+
+def test_committed_state_enum_final():
+    src = "li r1, 1\nhalt"
+    core, _, _ = stepwise(src)
+    seen = []
+    original = type(core)._commit
+
+    def spy(self, di):
+        result = original(self, di)
+        seen.append(di.state)
+        return result
+
+    type(core)._commit = spy
+    try:
+        core.run()
+    finally:
+        type(core)._commit = original
+    assert all(state is InstState.COMMITTED for state in seen)

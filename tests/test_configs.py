@@ -1,0 +1,67 @@
+"""Configuration objects: constructors, sweep helpers, table rows."""
+
+from repro.core.config import MMTConfig, WorkloadType
+from repro.mem.hierarchy import MemoryConfig
+from repro.pipeline.config import MachineConfig
+
+
+def test_paper_configs():
+    configs = MMTConfig.all_paper_configs()
+    assert [c.name for c in configs] == ["Base", "MMT-F", "MMT-FX", "MMT-FXR", "Limit"]
+    base, f, fx, fxr, limit = configs
+    assert not base.shared_fetch and not base.shared_execute
+    assert f.shared_fetch and not f.shared_execute and not f.register_merging
+    assert fx.shared_execute and not fx.register_merging
+    assert fxr.register_merging and not fxr.limit_identical
+    assert limit.limit_identical and limit.register_merging
+
+
+def test_with_fhb_size():
+    config = MMTConfig.mmt_fxr().with_fhb_size(128)
+    assert config.fhb_size == 128
+    assert config.register_merging
+
+
+def test_configs_hashable_for_caching():
+    assert hash(MMTConfig.base()) != hash(MMTConfig.mmt_fxr())
+    assert MMTConfig.mmt_f() == MMTConfig.mmt_f()
+
+
+def test_machine_with_threads():
+    machine = MachineConfig().with_threads(2)
+    assert machine.num_threads == 2
+    assert machine.fetch_width == 8
+
+
+def test_machine_with_fetch_width():
+    machine = MachineConfig().with_fetch_width(32)
+    assert machine.fetch_width == 32
+
+
+def test_machine_with_ldst_ports_scales_mshrs():
+    machine = MachineConfig().with_ldst_ports(12)
+    assert machine.ldst_ports == 12
+    assert machine.memory.mshr_entries == 48
+    fixed = MachineConfig().with_ldst_ports(2, scale_mshrs=False)
+    assert fixed.memory.mshr_entries == MachineConfig().memory.mshr_entries
+
+
+def test_machine_hashable():
+    assert hash(MachineConfig()) == hash(MachineConfig())
+    assert MachineConfig() != MachineConfig(num_threads=2)
+
+
+def test_memory_table4_rows():
+    rows = dict(MemoryConfig().table4_rows())
+    assert rows["L2 Cache"].startswith("4MB")
+    assert rows["DRAM Latency"] == "200"
+
+
+def test_table5_rows_text():
+    rows = dict(MMTConfig.table5_rows())
+    assert rows["MMT-FX"] == "MMT, shared fetch and execute"
+
+
+def test_workload_type_values():
+    assert WorkloadType.MULTI_THREADED.value == "MT"
+    assert WorkloadType.MULTI_EXECUTION.value == "ME"

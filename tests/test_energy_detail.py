@@ -1,0 +1,81 @@
+"""Energy-model composition details and gating rules."""
+
+from repro.core.config import MMTConfig
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.smt import SMTCore
+from repro.power.model import energy_of_run
+from repro.power.params import EnergyParams
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import get_profile
+
+
+def run(config, app="water-sp", nctx=2, scale=0.25):
+    build = build_workload(get_profile(app), nctx, scale=scale)
+    core = SMTCore(MachineConfig(num_threads=nctx), config, build.job())
+    core.run()
+    return core
+
+
+def test_detail_keys_cover_components():
+    core = run(MMTConfig.mmt_fxr())
+    detail = energy_of_run(core).detail
+    for key in ("l1i", "l1d", "l2", "dram", "fhb", "rst", "lvip",
+                "split_stage", "regmerge", "frontend", "rename", "window",
+                "regfile", "fu", "static"):
+        assert key in detail, key
+        assert detail[key] >= 0
+
+
+def test_components_sum_to_groups():
+    core = run(MMTConfig.mmt_fxr())
+    breakdown = energy_of_run(core)
+    detail = breakdown.detail
+    cache = detail["l1i"] + detail["l1d"] + detail["l2"] + detail["dram"]
+    assert abs(cache - breakdown.cache) < 1e-9
+    overhead = (
+        detail["fhb"] + detail["rst"] + detail["lvip"]
+        + detail["split_stage"] + detail["regmerge"] + detail["mmt_static"]
+    )
+    assert abs(overhead - breakdown.mmt_overhead) < 1e-9
+
+
+def test_fhb_energy_gated_to_non_merge_modes():
+    """The paper: FHBs are accessed only outside MERGE mode.  A workload
+    that never diverges must charge (almost) nothing to the FHB."""
+    core = run(MMTConfig.mmt_fxr(), app="ammp", scale=0.2)
+    detail = energy_of_run(core).detail
+    modes = core.stats.mode_breakdown()
+    if modes["detect"] + modes["catchup"] < 0.02:
+        assert detail["fhb"] < 0.01 * energy_of_run(core).total
+
+
+def test_lvip_energy_zero_for_multi_threaded():
+    """MT loads never consult the LVIP (Table 2)."""
+    core = run(MMTConfig.mmt_fxr(), app="lu")
+    assert energy_of_run(core).detail["lvip"] == 0.0
+
+
+def test_rst_charged_every_cycle_when_mmt_active():
+    core = run(MMTConfig.mmt_fxr())
+    params = EnergyParams()
+    detail = energy_of_run(core, params).detail
+    assert detail["rst"] >= core.stats.cycles * params.rst_cycle
+
+
+def test_custom_params_scale_result():
+    core = run(MMTConfig.mmt_fxr())
+    base_total = energy_of_run(core, EnergyParams()).total
+    doubled = energy_of_run(core, EnergyParams().scaled(2.0)).total
+    assert abs(doubled - 2 * base_total) < 1e-6 * base_total
+
+
+def test_fpu_ops_cost_more_than_alu():
+    """An fp-heavy run spends more FU energy per issued entry than an
+    int-heavy one."""
+    fp_core = run(MMTConfig.base(), app="blackscholes", scale=0.25)
+    int_core = run(MMTConfig.base(), app="mcf", scale=0.25)
+    fp_detail = energy_of_run(fp_core).detail
+    int_detail = energy_of_run(int_core).detail
+    fp_per = fp_detail["fu"] / max(1, fp_core.stats.issued_entries)
+    int_per = int_detail["fu"] / max(1, int_core.stats.issued_entries)
+    assert fp_per > int_per

@@ -1,0 +1,175 @@
+"""Functional executor: per-opcode semantics and control flow."""
+
+import pytest
+
+from repro.func.executor import ExecutionError, FunctionalExecutor, to_s64
+from repro.func.state import ArchState
+from repro.isa.assembler import assemble
+from repro.isa.registers import SP
+from repro.mem.memory import AddressSpace
+
+
+def run(src, data=None, tid=0, nctx=1):
+    prog = assemble(src)
+    mem = AddressSpace(dict(prog.data))
+    if data:
+        for addr, value in data.items():
+            mem.store(addr, value)
+    state = ArchState(prog, mem, tid=tid, nctx=nctx)
+    FunctionalExecutor(state).run(max_steps=100_000)
+    return state, mem
+
+
+def reg(src, name="r1", **kw):
+    from repro.isa.registers import parse_reg
+
+    state, _ = run(src, **kw)
+    return state.regs[parse_reg(name)]
+
+
+def test_to_s64_wraps():
+    assert to_s64(2**63) == -(2**63)
+    assert to_s64(-1) == -1
+    assert to_s64(2**64) == 0
+
+
+def test_arithmetic():
+    assert reg("li r1, 7\naddi r1, r1, 3\nhalt") == 10
+    assert reg("li r2, 5\nli r3, 3\nsub r1, r2, r3\nhalt") == 2
+    assert reg("li r2, 6\nli r3, 7\nmul r1, r2, r3\nhalt") == 42
+    assert reg("li r2, 17\nli r3, 5\ndiv r1, r2, r3\nhalt") == 3
+    assert reg("li r2, 17\nli r3, 5\nrem r1, r2, r3\nhalt") == 2
+
+
+def test_division_semantics_truncate_toward_zero():
+    assert reg("li r2, -7\nli r3, 2\ndiv r1, r2, r3\nhalt") == -3
+    assert reg("li r2, -7\nli r3, 2\nrem r1, r2, r3\nhalt") == -1
+
+
+def test_division_by_zero_yields_zero():
+    assert reg("li r2, 5\ndiv r1, r2, r0\nhalt") == 0
+    assert reg("li r2, 5\nrem r1, r2, r0\nhalt") == 0
+
+
+def test_logic_and_shifts():
+    assert reg("li r2, 0b1100\nli r3, 0b1010\nand r1, r2, r3\nhalt") == 0b1000
+    assert reg("li r2, 0b1100\nli r3, 0b1010\nor r1, r2, r3\nhalt") == 0b1110
+    assert reg("li r2, 0b1100\nli r3, 0b1010\nxor r1, r2, r3\nhalt") == 0b0110
+    assert reg("li r2, 3\nslli r1, r2, 4\nhalt") == 48
+    assert reg("li r2, -8\nsrai_subst: srli r1, r2, 1\nhalt") == (2**64 - 8) >> 1
+    assert reg("li r2, -8\nsra r1, r2, r0\nhalt") == -8
+
+
+def test_comparisons():
+    assert reg("li r2, 3\nli r3, 5\nslt r1, r2, r3\nhalt") == 1
+    assert reg("li r2, 5\nli r3, 5\nslt r1, r2, r3\nhalt") == 0
+    assert reg("li r2, 5\nli r3, 5\nseq r1, r2, r3\nhalt") == 1
+    assert reg("li r2, 4\nslti r1, r2, 5\nhalt") == 1
+
+
+def test_fp_ops():
+    assert reg("fli f1, 1.5\nfli f2, 2.0\nfadd f0, f1, f2\nhalt", "f0") == 3.5
+    assert reg("fli f1, 1.5\nfli f2, 2.0\nfmul f0, f1, f2\nhalt", "f0") == 3.0
+    assert reg("fli f1, 9.0\nfsqrt f0, f1\nhalt", "f0") == 3.0
+    assert reg("fli f1, -2.0\nfabs f0, f1\nhalt", "f0") == 2.0
+    assert reg("fli f1, -2.0\nfneg f0, f1\nhalt", "f0") == 2.0
+    assert reg("fli f1, 1.0\nfli f2, 2.0\nfmin f0, f1, f2\nhalt", "f0") == 1.0
+    assert reg("fli f1, 1.0\nfli f2, 2.0\nfmax f0, f1, f2\nhalt", "f0") == 2.0
+
+
+def test_fp_division_by_zero_yields_zero():
+    assert reg("fli f1, 5.0\nfli f2, 0.0\nfdiv f0, f1, f2\nhalt", "f0") == 0.0
+
+
+def test_fp_sqrt_of_negative_yields_zero():
+    assert reg("fli f1, -4.0\nfsqrt f0, f1\nhalt", "f0") == 0.0
+
+
+def test_conversions_and_fp_compare():
+    assert reg("li r2, 3\nfcvt f0, r2\nhalt", "f0") == 3.0
+    assert reg("fli f1, 3.9\nftoi r1, f1\nhalt") == 3
+    assert reg("fli f1, 1.0\nfli f2, 2.0\nfslt r1, f1, f2\nhalt") == 1
+    assert reg("fli f1, 2.0\nfli f2, 2.0\nfseq r1, f1, f2\nhalt") == 1
+
+
+def test_loads_and_stores():
+    state, mem = run(
+        """
+        la r2, buf
+        li r1, 77
+        sw r1, 0(r2)
+        lw r3, 0(r2)
+        halt
+        .data 0x200
+        buf: .word 0
+        """
+    )
+    assert mem.load(0x200) == 77
+    assert state.regs[3] == 77
+
+
+def test_branches_taken_and_not_taken():
+    assert reg(
+        """
+        li r1, 0
+        li r2, 3
+        loop: addi r1, r1, 1
+        addi r2, r2, -1
+        bne r2, r0, loop
+        halt
+        """
+    ) == 3
+    assert reg("li r1, 1\nbge r0, r1, skip\nli r1, 9\nskip: halt") == 9
+
+
+def test_call_and_return():
+    assert reg(
+        """
+        li r1, 1
+        call fn
+        addi r1, r1, 100
+        halt
+        fn: addi r1, r1, 10
+        ret
+        """
+    ) == 111
+
+
+def test_tid_and_nctx():
+    assert reg("tid r1\nhalt", tid=2, nctx=4) == 2
+    assert reg("nctx r1\nhalt", tid=2, nctx=4) == 4
+
+
+def test_stack_pointer_initialised():
+    state, _ = run("halt")
+    assert state.regs[SP] > 0
+
+
+def test_step_after_halt_raises():
+    prog = assemble("halt")
+    state = ArchState(prog, AddressSpace())
+    ex = FunctionalExecutor(state)
+    ex.step()
+    with pytest.raises(ExecutionError):
+        ex.step()
+
+
+def test_runaway_detection():
+    prog = assemble("loop: j loop")
+    state = ArchState(prog, AddressSpace())
+    with pytest.raises(ExecutionError):
+        FunctionalExecutor(state).run(max_steps=100)
+
+
+def test_executed_record_fields():
+    prog = assemble("li r1, 5\nli r2, 2\nadd r3, r1, r2\nhalt")
+    state = ArchState(prog, AddressSpace())
+    ex = FunctionalExecutor(state)
+    ex.step()
+    ex.step()
+    rec = ex.step()
+    assert rec.pc == 2
+    assert rec.src_vals == (5, 2)
+    assert rec.result == 7
+    assert rec.next_pc == 3
+    assert rec.taken is None

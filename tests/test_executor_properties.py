@@ -1,0 +1,122 @@
+"""Property-based checks of the functional executor's arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.func.executor import FunctionalExecutor, to_s64
+from repro.func.state import ArchState
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.mem.memory import AddressSpace
+
+s64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+small = st.integers(min_value=-(2**20), max_value=2**20)
+
+
+def eval_op(op, a, b):
+    """Run one register-register instruction through the executor."""
+    program = Program(
+        [Instruction(op, rd=3, rs1=1, rs2=2), Instruction(Opcode.HALT)]
+    )
+    state = ArchState(program, AddressSpace())
+    state.regs[1] = a
+    state.regs[2] = b
+    FunctionalExecutor(state).run()
+    return state.regs[3]
+
+
+@given(s64, s64)
+def test_add_matches_wrapped_python(a, b):
+    assert eval_op(Opcode.ADD, a, b) == to_s64(a + b)
+
+
+@given(s64, s64)
+def test_sub_matches_wrapped_python(a, b):
+    assert eval_op(Opcode.SUB, a, b) == to_s64(a - b)
+
+
+@given(small, small)
+def test_mul_matches_wrapped_python(a, b):
+    assert eval_op(Opcode.MUL, a, b) == to_s64(a * b)
+
+
+@given(s64, s64)
+def test_bitwise_ops(a, b):
+    assert eval_op(Opcode.AND, a, b) == to_s64(a & b)
+    assert eval_op(Opcode.OR, a, b) == to_s64(a | b)
+    assert eval_op(Opcode.XOR, a, b) == to_s64(a ^ b)
+
+
+@given(s64, s64)
+def test_division_identity(a, b):
+    """DIV/REM truncate toward zero and satisfy a = q*b + r (b != 0)."""
+    q = eval_op(Opcode.DIV, a, b)
+    r = eval_op(Opcode.REM, a, b)
+    if b == 0:
+        assert q == 0 and r == 0
+    else:
+        assert to_s64(q * b + r) == a
+        assert abs(r) < abs(b)
+        # Truncation: quotient never exceeds the exact ratio in magnitude.
+        assert abs(q) <= abs(a) // abs(b)
+
+
+@given(s64, st.integers(0, 63))
+def test_shift_left_matches(a, amount):
+    program = Program(
+        [Instruction(Opcode.SLLI, rd=3, rs1=1, imm=amount),
+         Instruction(Opcode.HALT)]
+    )
+    state = ArchState(program, AddressSpace())
+    state.regs[1] = a
+    FunctionalExecutor(state).run()
+    assert state.regs[3] == to_s64(a << amount)
+
+
+@given(s64, st.integers(0, 63))
+def test_shift_right_logical_is_nonnegative_or_zero_fill(a, amount):
+    program = Program(
+        [Instruction(Opcode.SRLI, rd=3, rs1=1, imm=amount),
+         Instruction(Opcode.HALT)]
+    )
+    state = ArchState(program, AddressSpace())
+    state.regs[1] = a
+    FunctionalExecutor(state).run()
+    expected = to_s64(((a) & ((1 << 64) - 1)) >> amount)
+    assert state.regs[3] == expected
+    if amount > 0:
+        assert state.regs[3] >= 0
+
+
+@given(s64, s64)
+def test_comparisons_boolean(a, b):
+    assert eval_op(Opcode.SLT, a, b) == (1 if a < b else 0)
+    assert eval_op(Opcode.SEQ, a, b) == (1 if a == b else 0)
+
+
+@given(s64)
+def test_to_s64_is_idempotent_and_in_range(a):
+    wrapped = to_s64(a)
+    assert to_s64(wrapped) == wrapped
+    assert -(2**63) <= wrapped < 2**63
+
+
+@given(st.floats(0.1, 100.0), st.floats(0.1, 100.0))
+def test_fp_min_max_ordering(a, b):
+    low = eval_op(Opcode.FMIN, a, b)
+    high = eval_op(Opcode.FMAX, a, b)
+    assert low <= high
+    assert {low, high} == {min(a, b), max(a, b)}
+
+
+@given(st.floats(0.0, 1e6))
+def test_fsqrt_squares_back(a):
+    program = Program(
+        [Instruction(Opcode.FSQRT, rd=32, rs1=33), Instruction(Opcode.HALT)]
+    )
+    state = ArchState(program, AddressSpace())
+    state.regs[33] = a
+    FunctionalExecutor(state).run()
+    root = state.regs[32]
+    assert abs(root * root - a) <= 1e-6 * max(1.0, a)

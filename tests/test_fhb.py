@@ -1,0 +1,48 @@
+"""Fetch History Buffer CAM."""
+
+import pytest
+
+from repro.core.fhb import FetchHistoryBuffer
+
+
+def test_record_and_search():
+    fhb = FetchHistoryBuffer(4)
+    fhb.record(100)
+    assert fhb.contains(100)
+    assert not fhb.contains(200)
+    assert fhb.search_hits == 1 and fhb.searches == 2
+
+
+def test_capacity_evicts_oldest():
+    fhb = FetchHistoryBuffer(2)
+    fhb.record(1)
+    fhb.record(2)
+    fhb.record(3)
+    assert not fhb.contains(1)
+    assert fhb.contains(2) and fhb.contains(3)
+    assert len(fhb) == 2
+
+
+def test_duplicate_targets_counted():
+    fhb = FetchHistoryBuffer(3)
+    fhb.record(5)
+    fhb.record(5)
+    fhb.record(6)
+    # Evicting one copy of 5 must not remove the other.
+    fhb.record(7)
+    assert fhb.contains(5)
+    fhb.record(8)
+    assert not fhb.contains(5)
+
+
+def test_clear():
+    fhb = FetchHistoryBuffer(4)
+    fhb.record(1)
+    fhb.clear()
+    assert not fhb.contains(1)
+    assert len(fhb) == 0
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        FetchHistoryBuffer(0)

@@ -1,0 +1,125 @@
+"""Workload-generator invariants that the calibration relies on.
+
+The profiles' meaning depends on strict register discipline: common
+accumulators must hold context-identical values at every step, private
+accumulators must diverge, and the control streams must realise the
+profile's divergence statistics.  A single contaminated register would
+silently convert execute-identical work into fetch-identical work.
+"""
+
+import pytest
+
+from repro.func.executor import FunctionalExecutor
+from repro.profiling.tracing import capture_job_traces
+from repro.workloads.generator import (
+    F_CACC,
+    R_CACC,
+    R_I,
+    R_PACC,
+    build_workload,
+)
+from repro.workloads.profiles import APP_ORDER, get_profile
+
+
+def final_states(app, nctx=2, scale=0.3, limit=False):
+    build = build_workload(get_profile(app), nctx, scale=scale)
+    job = build.limit_job() if limit else build.job()
+    states = job.make_states()
+    # Interleave for message-safety (not needed here, but uniform).
+    live = True
+    while live:
+        live = False
+        for state in states:
+            if not state.halted:
+                FunctionalExecutor(state).step()
+                live = True
+    return states
+
+
+@pytest.mark.parametrize("app", ["ammp", "twolf", "lu", "canneal", "water-sp"])
+def test_common_accumulators_stay_identical(app):
+    """Common registers must end context-identical (MT: despite different
+    tids; ME instance 0 vs itself trivially, so compare across contexts
+    only where inputs agree — the Limit job guarantees that)."""
+    states = final_states(app, limit=True)
+    for reg in R_CACC + F_CACC + (R_I,):
+        values = [state.regs[reg] for state in states]
+        assert len(set(map(repr, values))) == 1, f"reg {reg} diverged"
+
+
+@pytest.mark.parametrize("app", ["ammp", "twolf", "lu", "canneal"])
+def test_private_accumulators_diverge(app):
+    states = final_states(app)
+    diverged = sum(
+        1
+        for reg in R_PACC
+        if states[0].regs[reg] != states[1].regs[reg]
+    )
+    assert diverged >= 1, "private stream never diverged"
+
+
+@pytest.mark.parametrize("app", ["ammp", "lu"])
+def test_common_registers_identical_throughout_mt(app):
+    """For MT jobs, common accumulators agree at every step, not just at
+    the end (checked via synchronized traces)."""
+    build = build_workload(get_profile(app), 2, scale=0.2)
+    traces = capture_job_traces(build.job())
+    # Compare the values written by instructions whose dest is a common acc
+    # at the same dynamic index when the traces are aligned (identical
+    # control flow for these low-divergence scale-0.2 builds may not hold
+    # exactly; compare only the common prefix of equal PCs).
+    for rec_a, rec_b in zip(traces[0], traces[1]):
+        if rec_a.pc != rec_b.pc:
+            break
+        if rec_a.inst.dst in R_CACC:
+            assert repr(rec_a.result) == repr(rec_b.result)
+
+
+def test_divergence_rate_realised():
+    """The flag streams disagree at roughly the profile's divergence rate."""
+    profile = get_profile("twolf")
+    build = build_workload(profile, 2, scale=1.0)
+    flags_base = build.program.symbol("flags")
+    n_sections = build.chunk * 3
+    base_flags = [build.program.data[flags_base + 8 * i] for i in range(n_sections)]
+    overlay = build.per_instance_data[1]
+    disagreements = sum(
+        1 for i in range(n_sections) if flags_base + 8 * i in overlay
+    )
+    rate = disagreements / n_sections
+    assert abs(rate - profile.divergence_rate) < 0.15
+
+
+def test_input_similarity_realised():
+    profile = get_profile("vpr")
+    build = build_workload(profile, 2, scale=1.0)
+    from repro.workloads.generator import PRIV_WORDS
+
+    priv = build.program.symbol("priv_i")
+    overlay = build.per_instance_data[1]
+    differing = sum(
+        1 for k in range(PRIV_WORDS) if priv + 8 * k in overlay
+    )
+    measured_similarity = 1 - differing / PRIV_WORDS
+    assert abs(measured_similarity - profile.input_similarity) < 0.08
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_programs_are_reasonably_sized(app):
+    build = build_workload(get_profile(app), 2)
+    assert 80 < len(build.program) < 2000
+    assert build.program.data  # has a data image
+
+
+def test_fp_values_never_reach_nan_or_inf():
+    """The fp op mix must keep values finite — NaN would break the merged
+    value-identity checks."""
+    import math
+
+    for app in ("ammp", "blackscholes", "water-sp"):
+        states = final_states(app)
+        for state in states:
+            for reg in range(32, 48):
+                value = state.regs[reg]
+                if isinstance(value, float):
+                    assert math.isfinite(value), f"{app} f{reg - 32} = {value}"

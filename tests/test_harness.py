@@ -1,0 +1,113 @@
+"""Experiment harness: caching, figures plumbing, report rendering."""
+
+import pytest
+
+from repro.core.config import MMTConfig
+from repro.harness.experiment import (
+    clear_cache,
+    default_apps,
+    geomean,
+    run_app,
+    speedup_over_base,
+)
+from repro.harness.figures import (
+    fig5_speedups,
+    fig5b_identified,
+    fig5d_modes,
+    fig6_energy,
+    table3_hardware,
+    table4_configuration,
+    table5_configurations,
+)
+from repro.harness.report import format_pairs, format_stacked_bars, format_table
+
+SCALE = 0.25
+APPS = ["ammp", "lu"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_geomean():
+    assert abs(geomean([2.0, 8.0]) - 4.0) < 1e-12
+    assert geomean([]) == 0.0
+
+
+def test_default_apps_order():
+    apps = default_apps()
+    assert apps[0] == "ammp" and len(apps) == 16
+
+
+def test_run_app_caches():
+    first = run_app("ammp", MMTConfig.base(), 2, scale=SCALE)
+    second = run_app("ammp", MMTConfig.base(), 2, scale=SCALE)
+    assert first is second
+    third = run_app("ammp", MMTConfig.base(), 2, scale=SCALE, use_cache=False)
+    assert third is not first
+
+
+def test_speedup_over_base_self_is_one():
+    assert speedup_over_base("ammp", MMTConfig.base(), 2, scale=SCALE) == 1.0
+
+
+def test_fig5_rows_structure():
+    rows = fig5_speedups(2, apps=APPS, scale=SCALE)
+    assert [row["app"] for row in rows] == APPS + ["geomean"]
+    for row in rows:
+        for key in ("MMT-F", "MMT-FX", "MMT-FXR", "Limit"):
+            assert row[key] > 0
+
+
+def test_fig5b_fractions_sum_to_one():
+    rows = fig5b_identified(2, apps=APPS, scale=SCALE)
+    for row in rows:
+        total = (
+            row["exec_identical"]
+            + row["exec_identical_regmerge"]
+            + row["fetch_identical"]
+            + row["not_identical"]
+        )
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_fig5d_modes_sum_to_one():
+    rows = fig5d_modes(2, apps=APPS, scale=SCALE)
+    for row in rows:
+        assert abs(row["merge"] + row["detect"] + row["catchup"] - 1.0) < 1e-9
+        assert 0.0 <= row["remerge_within_512"] <= 1.0
+
+
+def test_fig6_reference_bar_is_one():
+    rows = fig6_energy(apps=["ammp"], scale=SCALE)
+    assert abs(rows[0]["SMT-2T"]["total"] - 1.0) < 1e-9
+    assert rows[0]["MMT-2T"]["total"] > 0
+
+
+def test_tables():
+    assert any(row["component"] == "LVIP" for row in table3_hardware())
+    pairs = table4_configuration()
+    assert ("ROB Size", "256") in pairs
+    assert ("Base", "Traditional SMT") in table5_configurations()
+
+
+# -------------------------------------------------------------------- report
+def test_format_table():
+    text = format_table(
+        [{"a": 1.5, "b": "x"}], columns=["a", "b"], title="T"
+    )
+    assert "T" in text and "1.500" in text and "x" in text
+
+
+def test_format_pairs():
+    text = format_pairs([("k", "v"), ("key2", "v2")])
+    assert "k     v" in text
+
+
+def test_format_stacked_bars():
+    rows = [{"app": "x", "merge": 0.5, "detect": 0.25, "catchup": 0.25}]
+    text = format_stacked_bars(rows, "app", ["merge", "detect", "catchup"], width=8)
+    assert "x" in text and "legend" in text

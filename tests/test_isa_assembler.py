@@ -1,0 +1,130 @@
+"""Assembler: syntax, labels, data directives, pseudo-ops, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RA
+
+
+def test_simple_program():
+    prog = assemble("li r1, 5\naddi r1, r1, -1\nhalt\n")
+    assert len(prog) == 3
+    assert prog[0].op is Opcode.LI and prog[0].imm == 5
+    assert prog[1].op is Opcode.ADDI and prog[1].imm == -1
+    assert prog[2].op is Opcode.HALT
+
+
+def test_comments_and_blank_lines():
+    prog = assemble(
+        """
+        # leading comment
+        li r1, 1   ; trailing comment
+
+        halt
+        """
+    )
+    assert len(prog) == 2
+
+
+def test_backward_branch_label():
+    prog = assemble("loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")
+    assert prog[1].target == 0
+
+
+def test_forward_branch_label():
+    prog = assemble("beq r1, r0, end\naddi r1, r1, 1\nend: halt")
+    assert prog[0].target == 2
+
+
+def test_memory_operands():
+    prog = assemble("lw r1, 8(r2)\nsw r3, -16(r4)\nhalt")
+    load, store = prog[0], prog[1]
+    assert load.rs1 == 2 and load.imm == 8 and load.rd == 1
+    assert store.rs1 == 4 and store.rs2 == 3 and store.imm == -16
+
+
+def test_data_section_and_la():
+    prog = assemble(
+        """
+        la r1, table
+        lw r2, 0(r1)
+        halt
+        .data 0x100
+        table: .word 7 8 9
+        vec:   .float 1.5
+               .space 2
+        """
+    )
+    assert prog.symbol("table") == 0x100
+    assert prog.data[0x100] == 7
+    assert prog.data[0x110] == 9
+    assert prog.data[prog.symbol("vec")] == 1.5
+    assert prog.data[prog.symbol("vec") + 8] == 0
+    assert prog[0].imm == 0x100
+
+
+def test_pseudo_ops():
+    prog = assemble(
+        """
+        mv r1, r2
+        call fn
+        j end
+        fn: ret
+        end: halt
+        """
+    )
+    assert prog[0].op is Opcode.ADDI and prog[0].imm == 0
+    assert prog[1].op is Opcode.JAL and prog[1].rd == RA
+    assert prog[3].op is Opcode.JR and prog[3].rs1 == RA
+
+
+def test_hex_immediates():
+    prog = assemble("li r1, 0x40\nhalt")
+    assert prog[0].imm == 0x40
+
+
+def test_float_immediate():
+    prog = assemble("fli f0, 2.5\nhalt")
+    assert prog[0].imm == 2.5
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("x: nop\nx: halt")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere\nhalt")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate r1, r2")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2")
+
+
+def test_unaligned_data_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data 0x101\n.word 1")
+
+
+def test_instruction_inside_data_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data 0x100\nadd r1, r2, r3")
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("nop\nnop\nbogus r1")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_multiple_labels_one_line():
+    prog = assemble("a: b: nop\nj a\nj b\nhalt")
+    assert prog.label("a") == prog.label("b") == 0

@@ -1,0 +1,69 @@
+"""Opcode metadata: classes, predicates, latencies."""
+
+from repro.isa.opcodes import (
+    DEFAULT_LATENCY,
+    OP_CLASS,
+    OpClass,
+    Opcode,
+    is_branch,
+    is_control,
+    is_jump,
+    is_load,
+    is_mem,
+    is_store,
+    op_class,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert op in OP_CLASS
+
+
+def test_every_class_has_a_latency():
+    for klass in OpClass:
+        assert DEFAULT_LATENCY[klass] >= 1
+
+
+def test_branch_predicates():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        assert is_branch(op)
+        assert is_control(op)
+        assert not is_jump(op)
+
+
+def test_jump_predicates():
+    for op in (Opcode.J, Opcode.JAL, Opcode.JR):
+        assert is_jump(op)
+        assert is_control(op)
+        assert not is_branch(op)
+
+
+def test_memory_predicates():
+    assert is_load(Opcode.LW) and is_load(Opcode.FLW)
+    assert is_store(Opcode.SW) and is_store(Opcode.FSW)
+    assert is_mem(Opcode.LW) and is_mem(Opcode.FSW)
+    assert not is_mem(Opcode.ADD)
+    assert not is_load(Opcode.SW)
+    assert not is_store(Opcode.LW)
+
+
+def test_alu_ops_are_single_cycle():
+    assert DEFAULT_LATENCY[OpClass.ALU] == 1
+
+
+def test_divide_is_slowest_integer_op():
+    assert DEFAULT_LATENCY[OpClass.IDIV] > DEFAULT_LATENCY[OpClass.IMUL]
+    assert DEFAULT_LATENCY[OpClass.IMUL] > DEFAULT_LATENCY[OpClass.ALU]
+
+
+def test_op_class_lookup():
+    assert op_class(Opcode.FMUL) is OpClass.FMUL
+    assert op_class(Opcode.LW) is OpClass.LOAD
+    assert op_class(Opcode.HALT) is OpClass.SYS
+
+
+def test_fp_ops_use_fp_classes():
+    for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMIN, Opcode.FMAX):
+        assert op_class(op) is OpClass.FADD
+    assert op_class(Opcode.FSQRT) is OpClass.FDIV

@@ -1,0 +1,46 @@
+"""Program image validation and per-instance overlays."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import WORD_SIZE, Program
+
+
+def _halt():
+    return Instruction(Opcode.HALT)
+
+
+def test_out_of_range_target_rejected():
+    bad = Instruction(Opcode.J, target=5)
+    with pytest.raises(ValueError):
+        Program([bad, _halt()])
+
+
+def test_unaligned_data_rejected():
+    with pytest.raises(ValueError):
+        Program([_halt()], data={3: 1})
+
+
+def test_entry_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        Program([_halt()], entry=5)
+
+
+def test_with_data_overlays_without_mutating_base():
+    base = Program([_halt()], data={0: 1, WORD_SIZE: 2})
+    derived = base.with_data({WORD_SIZE: 99, 2 * WORD_SIZE: 3})
+    assert base.data[WORD_SIZE] == 2
+    assert derived.data[WORD_SIZE] == 99
+    assert derived.data[2 * WORD_SIZE] == 3
+    assert all(a is b for a, b in zip(derived.instructions, base.instructions))
+
+
+def test_label_and_symbol_lookup():
+    prog = Program(
+        [_halt()], labels={"start": 0}, symbols={"buf": 64}, data={64: 0}
+    )
+    assert prog.label("start") == 0
+    assert prog.symbol("buf") == 64
+    assert len(prog) == 1
+    assert prog[0].op is Opcode.HALT

@@ -1,0 +1,64 @@
+"""Register layout and name parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RA,
+    SP,
+    ZERO,
+    fp_reg,
+    is_fp_reg,
+    is_int_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_layout_counts():
+    assert NUM_ARCH_REGS == NUM_INT_REGS + NUM_FP_REGS
+    assert FP_BASE == NUM_INT_REGS
+
+
+def test_conventional_registers():
+    assert ZERO == 0
+    assert parse_reg("sp") == SP
+    assert parse_reg("ra") == RA
+    assert parse_reg("zero") == ZERO
+
+
+def test_parse_int_and_fp_names():
+    assert parse_reg("r0") == 0
+    assert parse_reg("r31") == 31
+    assert parse_reg("f0") == FP_BASE
+    assert parse_reg("f15") == FP_BASE + 15
+
+
+def test_parse_rejects_bad_names():
+    for bad in ("r32", "f16", "x1", "r-1", "", "r"):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+def test_reg_name_roundtrip():
+    for index in range(NUM_ARCH_REGS):
+        assert parse_reg(reg_name(index)) == index
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(NUM_ARCH_REGS)
+
+
+def test_predicates_partition_space():
+    for index in range(NUM_ARCH_REGS):
+        assert is_int_reg(index) != is_fp_reg(index)
+
+
+def test_fp_reg_helper():
+    assert fp_reg(0) == FP_BASE
+    with pytest.raises(ValueError):
+        fp_reg(NUM_FP_REGS)

@@ -1,0 +1,90 @@
+"""Job construction for the paper's workload categories."""
+
+import pytest
+
+from repro.core.config import WorkloadType
+from repro.isa.assembler import assemble
+from repro.pipeline.job import Job
+
+SRC = """
+    tid r1
+    la r2, buf
+    slli r3, r1, 3
+    add r2, r2, r3
+    sw r1, 0(r2)
+    halt
+.data 0x100
+buf: .word 0 0 0 0
+"""
+
+
+def test_multi_threaded_shares_memory():
+    prog = assemble(SRC)
+    job = Job.multi_threaded("t", prog, 2)
+    assert job.wtype is WorkloadType.MULTI_THREADED
+    assert job.address_spaces[0] is job.address_spaces[1]
+    states = job.make_states()
+    assert states[0].regs[28] != states[1].regs[28]  # distinct stacks
+    assert states[0].tid == 0 and states[1].tid == 1
+
+
+def test_multi_execution_separates_memory():
+    prog = assemble(SRC)
+    job = Job.multi_execution("m", prog, [{}, {0x100: 9}])
+    assert job.wtype is WorkloadType.MULTI_EXECUTION
+    assert job.address_spaces[0] is not job.address_spaces[1]
+    assert job.address_spaces[0].load(0x100) == 0
+    assert job.address_spaces[1].load(0x100) == 9
+    states = job.make_states()
+    assert states[0].regs[28] == states[1].regs[28]  # identical registers
+
+
+def test_limit_clone_identical_soft_tids():
+    prog = assemble(SRC)
+    job = Job.limit_clone("l", prog, 3, soft_nctx=3)
+    states = job.make_states()
+    assert all(s.tid == 0 for s in states)
+    assert all(s.nctx == 3 for s in states)
+    assert len({id(sp) for sp in job.address_spaces}) == 3
+
+
+def test_context_count_limits():
+    prog = assemble(SRC)
+    with pytest.raises(ValueError):
+        Job.multi_threaded("t", prog, 5)
+
+
+def test_mismatched_sequences_rejected():
+    prog = assemble(SRC)
+    with pytest.raises(ValueError):
+        Job("x", WorkloadType.MULTI_THREADED, [prog], [], [0x1000])
+
+
+def test_different_text_rejected():
+    a = assemble("halt")
+    b = assemble("nop\nhalt")
+    from repro.mem.memory import AddressSpace
+
+    with pytest.raises(ValueError):
+        Job(
+            "x",
+            WorkloadType.MULTI_EXECUTION,
+            [a, b],
+            [AddressSpace(), AddressSpace()],
+            [0x1000, 0x1000],
+        )
+
+
+def test_soft_tid_length_validation():
+    prog = assemble(SRC)
+    from repro.mem.memory import AddressSpace
+
+    with pytest.raises(ValueError):
+        Job(
+            "x",
+            WorkloadType.MULTI_EXECUTION,
+            [prog, prog],
+            [AddressSpace(), AddressSpace()],
+            [0x1000, 0x1000],
+            soft_tids=[0],
+        )

@@ -1,0 +1,45 @@
+"""Load Values Identical Predictor."""
+
+import pytest
+
+from repro.core.lvip import LoadValuesIdenticalPredictor
+
+
+def test_default_prediction_is_identical():
+    lvip = LoadValuesIdenticalPredictor(16)
+    assert lvip.predict_identical(100)
+    assert lvip.predicted_identical == 1
+
+
+def test_mispredict_flips_prediction():
+    lvip = LoadValuesIdenticalPredictor(16)
+    lvip.record_mispredict(100)
+    assert not lvip.predict_identical(100)
+    assert lvip.mispredictions == 1
+
+
+def test_entries_are_sticky():
+    lvip = LoadValuesIdenticalPredictor(16)
+    lvip.record_mispredict(100)
+    lvip.record_identical(100)
+    assert not lvip.predict_identical(100)
+
+
+def test_direct_mapped_conflicts():
+    lvip = LoadValuesIdenticalPredictor(16)
+    lvip.record_mispredict(4)
+    assert lvip.predict_identical(4 + 16)  # same index, different tag
+    lvip.record_mispredict(4 + 16)  # evicts the old entry
+    assert lvip.predict_identical(4)
+
+
+def test_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        LoadValuesIdenticalPredictor(100)
+
+
+def test_independent_pcs():
+    lvip = LoadValuesIdenticalPredictor(16)
+    lvip.record_mispredict(3)
+    assert lvip.predict_identical(5)
+    assert not lvip.predict_identical(3)

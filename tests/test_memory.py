@@ -1,0 +1,59 @@
+"""Address spaces: alignment, defaults, arrays, asid uniqueness."""
+
+import pytest
+
+from repro.mem.memory import AddressSpace, MemoryError_
+
+
+def test_default_zero():
+    mem = AddressSpace()
+    assert mem.load(0) == 0
+    assert mem.load(0x1000) == 0
+
+
+def test_store_load_roundtrip():
+    mem = AddressSpace()
+    mem.store(8, 42)
+    mem.store(16, 2.5)
+    assert mem.load(8) == 42
+    assert mem.load(16) == 2.5
+
+
+def test_image_initialisation():
+    mem = AddressSpace({0: 1, 8: 2})
+    assert mem.load(0) == 1 and mem.load(8) == 2
+
+
+def test_unaligned_access_rejected():
+    mem = AddressSpace()
+    with pytest.raises(MemoryError_):
+        mem.load(4)
+    with pytest.raises(MemoryError_):
+        mem.store(12, 1)
+
+
+def test_negative_address_rejected():
+    mem = AddressSpace()
+    with pytest.raises(MemoryError_):
+        mem.load(-8)
+    with pytest.raises(MemoryError_):
+        mem.store(-8, 1)
+
+
+def test_array_helpers():
+    mem = AddressSpace()
+    mem.write_array(0x100, [1, 2, 3])
+    assert mem.read_array(0x100, 3) == [1, 2, 3]
+
+
+def test_asids_are_unique():
+    a, b = AddressSpace(), AddressSpace()
+    assert a.asid != b.asid
+
+
+def test_snapshot_is_a_copy():
+    mem = AddressSpace({0: 1})
+    snap = mem.snapshot()
+    snap[0] = 99
+    assert mem.load(0) == 1
+    assert len(mem) == 1

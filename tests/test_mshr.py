@@ -1,0 +1,49 @@
+"""MSHR file: allocation, merging, capacity, retirement."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+def test_needs_positive_capacity():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_allocate_returns_ready_cycle():
+    mshr = MSHRFile(2)
+    assert mshr.request(1, now=10, latency=6) == 16
+    assert mshr.outstanding() == 1
+
+
+def test_same_line_merges():
+    mshr = MSHRFile(1)
+    ready = mshr.request(1, now=0, latency=6)
+    again = mshr.request(1, now=3, latency=6)
+    assert again == ready
+    assert mshr.merges == 1
+    assert mshr.outstanding() == 1
+
+
+def test_full_file_rejects():
+    mshr = MSHRFile(1)
+    assert mshr.request(1, now=0, latency=6) is not None
+    assert mshr.request(2, now=0, latency=6) is None
+    assert mshr.full_stalls == 1
+
+
+def test_tick_retires_completed():
+    mshr = MSHRFile(1)
+    mshr.request(1, now=0, latency=6)
+    mshr.tick(5)
+    assert mshr.outstanding() == 1
+    mshr.tick(6)
+    assert mshr.outstanding() == 0
+    assert mshr.request(2, now=7, latency=6) == 13
+
+
+def test_lookup():
+    mshr = MSHRFile(2)
+    mshr.request(5, now=0, latency=6)
+    assert mshr.lookup(5) == 6
+    assert mshr.lookup(9) is None

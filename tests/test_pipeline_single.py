@@ -1,0 +1,172 @@
+"""Single-context pipeline: timing sanity + architectural correctness.
+
+Every run is checked two ways: the machine's own strict oracle assertions
+(enabled by default), and an independent functional execution of the same
+program compared on final memory.
+"""
+
+import pytest
+
+from repro.core.config import MMTConfig
+from repro.func.executor import FunctionalExecutor
+from repro.func.state import ArchState
+from repro.isa.assembler import assemble
+from repro.mem.memory import AddressSpace
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.job import Job
+from repro.pipeline.smt import SMTCore
+
+
+def run_both(src):
+    prog = assemble(src)
+    ref_mem = AddressSpace(dict(prog.data))
+    FunctionalExecutor(ArchState(prog, ref_mem)).run(max_steps=200_000)
+
+    job = Job.multi_threaded("t", prog, 1)
+    core = SMTCore(MachineConfig(num_threads=1), MMTConfig.base(), job)
+    stats = core.run()
+    return stats, job.address_spaces[0], ref_mem, core
+
+
+SUM_LOOP = """
+    li r1, 20
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    la r3, out
+    sw r2, 0(r3)
+    halt
+.data 0x1000
+out: .word 0
+"""
+
+
+def test_sum_loop_result_and_timing():
+    stats, mem, ref, core = run_both(SUM_LOOP)
+    assert mem.load(0x1000) == ref.load(0x1000) == 210
+    assert stats.committed_thread_insts == core.oracles[0].instret
+    assert 0 < stats.cycles
+    assert stats.ipc() <= core.config.issue_width
+
+
+def test_memory_dependences():
+    stats, mem, ref, _ = run_both(
+        """
+        la r1, buf
+        li r2, 5
+        sw r2, 0(r1)
+        lw r3, 0(r1)      # must forward/order after the store
+        addi r3, r3, 1
+        sw r3, 8(r1)
+        lw r4, 8(r1)
+        sw r4, 16(r1)
+        halt
+        .data 0x2000
+        buf: .word 0 0 0
+        """
+    )
+    assert mem.load(0x2010) == 6
+    assert ref.load(0x2010) == 6
+
+
+def test_function_calls_and_ras():
+    stats, mem, ref, core = run_both(
+        """
+        li r1, 0
+        li r5, 4
+        outer: call bump
+        addi r5, r5, -1
+        bne r5, r0, outer
+        la r2, out
+        sw r1, 0(r2)
+        halt
+        bump: addi r1, r1, 7
+        ret
+        .data 0x1000
+        out: .word 0
+        """
+    )
+    assert mem.load(0x1000) == 28
+    assert core.ras[0].pushes == 4
+
+
+def test_fp_kernel():
+    stats, mem, ref, _ = run_both(
+        """
+        fli f0, 0.0
+        fli f1, 1.5
+        li r1, 8
+        loop: fadd f0, f0, f1
+        fmul f1, f1, f1
+        fli f1, 1.25
+        addi r1, r1, -1
+        bne r1, r0, loop
+        la r2, out
+        fsw f0, 0(r2)
+        halt
+        .data 0x1000
+        out: .word 0
+        """
+    )
+    assert mem.load(0x1000) == ref.load(0x1000)
+
+
+def test_long_latency_ops():
+    stats, mem, ref, _ = run_both(
+        """
+        li r1, 1000
+        li r2, 7
+        div r3, r1, r2
+        mul r4, r3, r2
+        rem r5, r1, r2
+        add r6, r4, r5
+        la r7, out
+        sw r6, 0(r7)
+        halt
+        .data 0x1000
+        out: .word 0
+        """
+    )
+    assert mem.load(0x1000) == 1000
+
+
+def test_mispredict_costs_cycles():
+    """A data-dependent unpredictable branch sequence must cost more than
+    the same instruction count of straight-line code."""
+    branchy = """
+        la r5, pat
+        li r1, 0
+        li r2, 16
+    loop:
+        lw r3, 0(r5)
+        addi r5, r5, 8
+        beq r3, r0, skip
+        addi r1, r1, 1
+    skip:
+        addi r2, r2, -1
+        bne r2, r0, loop
+        halt
+    .data 0x1000
+    pat: .word 1 0 0 1 1 0 1 0 0 1 1 1 0 0 0 1
+    """
+    stats, _, _, _ = run_both(branchy)
+    assert stats.branch_mispredicts > 0
+
+
+def test_machine_finishes_clean():
+    stats, _, _, core = run_both(SUM_LOOP)
+    assert core.done()
+    assert not core.rob and not core.iq and not core.decode_buffer
+    assert len(core.lsq) == 0
+    assert core.states[0].halted
+
+
+def test_cycle_limit_guard():
+    prog = assemble("loop: j loop")
+    job = Job.multi_threaded("t", prog, 1)
+    machine = MachineConfig(num_threads=1, max_cycles=500)
+    core = SMTCore(machine, MMTConfig.base(), job)
+    with pytest.raises(RuntimeError):
+        core.run()

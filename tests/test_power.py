@@ -1,0 +1,86 @@
+"""Energy model and hardware-budget (Table 3) checks."""
+
+from repro.core.config import MMTConfig
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.smt import SMTCore
+from repro.power.budget import (
+    hardware_budget,
+    storage_overhead_fraction,
+    total_storage_bits,
+)
+from repro.power.model import energy_of_run, energy_per_job
+from repro.power.params import EnergyBreakdown, EnergyParams
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import get_profile
+
+
+def run(config, app="ammp", nctx=2, scale=0.3):
+    build = build_workload(get_profile(app), nctx, scale=scale)
+    job = build.job()
+    core = SMTCore(MachineConfig(num_threads=nctx), config, job)
+    core.run()
+    return core
+
+
+def test_energy_components_positive():
+    core = run(MMTConfig.mmt_fxr())
+    breakdown = energy_of_run(core)
+    assert breakdown.cache > 0
+    assert breakdown.mmt_overhead > 0
+    assert breakdown.other > 0
+    assert breakdown.total == breakdown.cache + breakdown.mmt_overhead + breakdown.other
+
+
+def test_base_has_no_mmt_overhead():
+    core = run(MMTConfig.base())
+    breakdown = energy_of_run(core)
+    assert breakdown.mmt_overhead == 0.0
+
+
+def test_overhead_is_small_fraction():
+    """The paper: MMT overhead below 2% of processor power."""
+    core = run(MMTConfig.mmt_fxr())
+    breakdown = energy_of_run(core)
+    assert breakdown.mmt_overhead / breakdown.total < 0.05
+
+
+def test_mmt_reduces_energy_per_job():
+    base = energy_per_job(run(MMTConfig.base(), app="ammp"))
+    mmt = energy_per_job(run(MMTConfig.mmt_fxr(), app="ammp"))
+    assert mmt < base
+
+
+def test_normalised_breakdown():
+    a = EnergyBreakdown(cache=10, mmt_overhead=0, other=30)
+    b = EnergyBreakdown(cache=5, mmt_overhead=1, other=24)
+    norm = b.normalized_to(a)
+    assert abs(norm["total"] - 0.75) < 1e-9
+    assert abs(norm["cache"] - 0.125) < 1e-9
+
+
+def test_params_scaling():
+    params = EnergyParams()
+    scaled = params.scaled(2.0)
+    assert scaled.l1d_access == 2 * params.l1d_access
+    assert scaled.static_per_cycle == 2 * params.static_per_cycle
+
+
+# ------------------------------------------------------------------ Table 3
+def test_budget_has_paper_components():
+    rows = hardware_budget()
+    names = {row.component for row in rows}
+    assert {"Inst Win", "FHB", "RST", "Inst Split", "Reg State", "LVIP",
+            "Track Reg"} <= names
+
+
+def test_budget_storage_is_modest():
+    rows = hardware_budget()
+    assert total_storage_bits(rows) > 0
+    # MMT storage should be a small fraction of on-chip cache storage.
+    assert storage_overhead_fraction(rows) < 0.02
+
+
+def test_lvip_dominates_storage():
+    """The 16KB LVIP is by far the largest added structure (Table 3)."""
+    rows = {row.component: row.storage_bits for row in hardware_budget()}
+    assert rows["LVIP"] == max(rows.values())

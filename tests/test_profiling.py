@@ -1,0 +1,141 @@
+"""Trace profiling: sharing analysis and divergence histograms."""
+
+from repro.func.executor import FunctionalExecutor
+from repro.func.state import ArchState
+from repro.isa.assembler import assemble
+from repro.mem.memory import AddressSpace
+from repro.profiling.divergence import divergence_histogram, mean_gap_length_instructions
+from repro.profiling.sharing import DivergentGap, analyze_pair
+from repro.profiling.tracing import capture_job_traces, taken_branch_count
+from repro.pipeline.job import Job
+
+
+def trace_of(src, data_overrides=None):
+    prog = assemble(src)
+    mem = AddressSpace(dict(prog.data))
+    for addr, value in (data_overrides or {}).items():
+        mem.store(addr, value)
+    state = ArchState(prog, mem)
+    executor = FunctionalExecutor(state)
+    trace = []
+    while not state.halted:
+        trace.append(executor.step())
+    return trace
+
+
+IDENTICAL = """
+    li r1, 4
+loop: addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def test_identical_traces_fully_fetch_and_execute_identical():
+    a, b = trace_of(IDENTICAL), trace_of(IDENTICAL)
+    sharing = analyze_pair(a, b)
+    assert sharing.fetch_identical_fraction == 1.0
+    assert sharing.execute_identical_fraction == 1.0
+    assert sharing.gaps == []
+
+
+DIVERGENT = """
+    la r5, flag
+    lw r1, 0(r5)
+    beq r1, r0, path_b
+    addi r2, r2, 1
+    addi r2, r2, 2
+    j join
+path_b:
+    addi r2, r2, 3
+join:
+    li r3, 9
+    halt
+.data 0x100
+flag: .word 1
+"""
+
+
+def test_divergent_paths_detected():
+    a = trace_of(DIVERGENT)
+    b = trace_of(DIVERGENT, {0x100: 0})
+    sharing = analyze_pair(a, b)
+    assert 0 < sharing.fetch_identical_fraction < 1.0
+    assert len(sharing.gaps) >= 1
+    total_gap = sum(g.a_instructions + g.b_instructions for g in sharing.gaps)
+    assert total_gap > 0
+
+
+def test_value_differences_reduce_execute_identical():
+    src = """
+        la r5, inp
+        lw r1, 0(r5)
+        addi r1, r1, 1
+        addi r1, r1, 2
+        halt
+    .data 0x100
+    inp: .word 5
+    """
+    a = trace_of(src)
+    b = trace_of(src, {0x100: 6})
+    sharing = analyze_pair(a, b)
+    assert sharing.fetch_identical_fraction == 1.0
+    assert sharing.execute_identical_fraction < 1.0
+
+
+def test_loads_need_identical_data_to_be_execute_identical():
+    src = """
+        la r5, inp
+        lw r1, 0(r5)
+        halt
+    .data 0x100
+    inp: .word 5
+    """
+    a = trace_of(src)
+    b = trace_of(src, {0x100: 7})
+    sharing = analyze_pair(a, b)
+    # The load's operands (address) are identical but the value differs:
+    # fetch-identical yes, execute-identical no.
+    assert sharing.fetch_identical_pairs > sharing.execute_identical_pairs
+
+
+def test_taken_branch_count():
+    trace = trace_of(IDENTICAL)
+    assert taken_branch_count(trace) == 3  # backedge taken 3 times
+
+
+def test_divergence_histogram_buckets():
+    gaps = [
+        DivergentGap(10, 10, 3, 5),    # diff 2
+        DivergentGap(40, 10, 20, 2),   # diff 18
+        DivergentGap(900, 10, 600, 2),  # diff 598
+    ]
+    histogram = divergence_histogram(gaps)
+    assert histogram[16] == 1 / 3
+    assert histogram[32] == 2 / 3
+    assert histogram[512] == 2 / 3
+
+
+def test_divergence_histogram_empty():
+    assert divergence_histogram([]) == {b: 1.0 for b in (16, 32, 64, 128, 256, 512)}
+
+
+def test_mean_gap_length():
+    gaps = [DivergentGap(10, 30, 1, 2)]
+    assert mean_gap_length_instructions(gaps) == 20.0
+    assert mean_gap_length_instructions([]) == 0.0
+
+
+def test_capture_job_traces_interleaves_mt():
+    prog = assemble(
+        """
+        tid r1
+        addi r1, r1, 1
+        halt
+        """
+    )
+    job = Job.multi_threaded("t", prog, 2)
+    traces = capture_job_traces(job)
+    assert len(traces) == 2
+    assert all(len(t) == 3 for t in traces)
+    assert traces[0][0].result == 0 and traces[1][0].result == 1

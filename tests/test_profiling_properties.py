@@ -1,0 +1,106 @@
+"""Property-based checks of the trace-sharing analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.func.executor import FunctionalExecutor
+from repro.func.state import ArchState
+from repro.isa.opcodes import Opcode
+from repro.mem.memory import AddressSpace
+from repro.profiling.sharing import analyze_pair
+from repro.workloads.dsl import ProgramBuilder
+
+
+def random_trace(ops, trips, flag_values):
+    """Execute a small generated program and return its trace."""
+    b = ProgramBuilder("p")
+    base = b.array("flags", list(flag_values) or [0])
+    b.la(9, "flags")
+    b.li(1, 1)
+    b.li(2, 2)
+    b.li(18, 0)
+    b.li(19, trips)
+    b.label("loop")
+    for index, (kind, imm) in enumerate(ops):
+        if kind == 0:
+            b.alui(Opcode.ADDI, 1, 1, imm)
+        elif kind == 1:
+            b.alu(Opcode.XOR, 2, 2, 1)
+        else:
+            b.alui(Opcode.SLLI, 3, 18, 3)
+            b.alu(Opcode.ADD, 3, 3, 9)
+            b.load(4, 3, disp=0)
+            skip = b.fresh_label("s")
+            b.branch(Opcode.BEQ, 4, 0, skip)
+            b.alui(Opcode.ADDI, 2, 2, 7)
+            b.label(skip)
+    b.alui(Opcode.ADDI, 18, 18, 1)
+    b.branch(Opcode.BLT, 18, 19, "loop")
+    b.halt()
+    prog = b.build()
+    mem = AddressSpace(dict(prog.data))
+    state = ArchState(prog, mem)
+    executor = FunctionalExecutor(state)
+    trace = []
+    while not state.halted:
+        trace.append(executor.step())
+    return trace
+
+
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(-4, 4)), min_size=1, max_size=5
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_strategy, st.integers(2, 5),
+       st.lists(st.integers(0, 1), min_size=5, max_size=5))
+def test_self_comparison_is_fully_identical(ops, trips, flags):
+    trace = random_trace(ops, trips, flags)
+    sharing = analyze_pair(trace, trace)
+    assert sharing.fetch_identical_fraction == 1.0
+    assert sharing.execute_identical_fraction == 1.0
+    assert sharing.gaps == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_strategy, st.integers(2, 5),
+       st.lists(st.integers(0, 1), min_size=5, max_size=5),
+       st.lists(st.integers(0, 1), min_size=5, max_size=5))
+def test_fractions_bounded_and_consistent(ops, trips, flags_a, flags_b):
+    trace_a = random_trace(ops, trips, flags_a)
+    trace_b = random_trace(ops, trips, flags_b)
+    sharing = analyze_pair(trace_a, trace_b)
+    possible = sharing.total_pairs_possible
+    assert 0 <= sharing.execute_identical_pairs <= sharing.fetch_identical_pairs
+    assert sharing.fetch_identical_pairs <= possible
+    # Matched pairs plus gap instructions account for both traces exactly.
+    gap_a = sum(gap.a_instructions for gap in sharing.gaps)
+    gap_b = sum(gap.b_instructions for gap in sharing.gaps)
+    assert sharing.fetch_identical_pairs + gap_a == len(trace_a)
+    assert sharing.fetch_identical_pairs + gap_b == len(trace_b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_strategy, st.integers(2, 5),
+       st.lists(st.integers(0, 1), min_size=5, max_size=5),
+       st.lists(st.integers(0, 1), min_size=5, max_size=5))
+def test_analysis_is_approximately_symmetric(ops, trips, flags_a, flags_b):
+    """Swapping the traces changes the result only marginally.
+
+    Exact symmetry is not guaranteed — Ratcliff-Obershelp block matching
+    tie-breaks by position and the gap-edge peeling follows the match
+    structure — but the *measurement* must not depend materially on
+    argument order.
+    """
+    trace_a = random_trace(ops, trips, flags_a)
+    trace_b = random_trace(ops, trips, flags_b)
+    forward = analyze_pair(trace_a, trace_b)
+    backward = analyze_pair(trace_b, trace_a)
+    tolerance = max(3, forward.total_pairs_possible // 10)
+    assert abs(
+        forward.fetch_identical_pairs - backward.fetch_identical_pairs
+    ) <= tolerance
+    assert abs(
+        forward.execute_identical_pairs - backward.execute_identical_pairs
+    ) <= tolerance

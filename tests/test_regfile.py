@@ -1,0 +1,83 @@
+"""Physical register file: allocation, refcounting, value readiness."""
+
+import pytest
+
+from repro.pipeline.regfile import OutOfPhysRegs, PhysRegFile
+
+
+def test_alloc_marks_not_ready():
+    rf = PhysRegFile(8)
+    p = rf.alloc(map_claims=1)
+    assert not rf.ready[p]
+    rf.write(p, 42)
+    assert rf.ready[p] and rf.value[p] == 42
+
+
+def test_exhaustion_raises():
+    rf = PhysRegFile(2)
+    rf.alloc(1)
+    rf.alloc(1)
+    with pytest.raises(OutOfPhysRegs):
+        rf.alloc(1)
+
+
+def test_freed_when_all_claims_dropped():
+    rf = PhysRegFile(2)
+    p = rf.alloc(map_claims=2)
+    rf.alloc(1)
+    assert rf.free_count() == 0
+    rf.drop_map_claim(p)
+    assert rf.free_count() == 0  # one mapping claim remains
+    rf.drop_map_claim(p)
+    assert rf.free_count() == 1
+
+
+def test_source_claims_pin_register():
+    rf = PhysRegFile(1)
+    p = rf.alloc(map_claims=1)
+    rf.add_src_claim(p)
+    rf.drop_map_claim(p)
+    assert rf.free_count() == 0  # consumer still in flight
+    rf.drop_src_claim(p)
+    assert rf.free_count() == 1
+
+
+def test_add_map_claim_extends_lifetime():
+    rf = PhysRegFile(1)
+    p = rf.alloc(map_claims=1)
+    rf.add_map_claim(p)
+    rf.drop_map_claim(p)
+    assert rf.free_count() == 0
+    rf.drop_map_claim(p)
+    assert rf.free_count() == 1
+
+
+def test_negative_refcount_detected():
+    rf = PhysRegFile(2)
+    p = rf.alloc(map_claims=1)
+    rf.drop_map_claim(p)
+    with pytest.raises(RuntimeError):
+        rf.drop_map_claim(p)
+    q = rf.alloc(1)
+    with pytest.raises(RuntimeError):
+        rf.drop_src_claim(q)
+
+
+def test_reallocation_reuses_freed_register():
+    rf = PhysRegFile(1)
+    p = rf.alloc(1)
+    rf.set_initial(p, 7)
+    rf.drop_map_claim(p)
+    q = rf.alloc(1)
+    assert q == p
+    assert not rf.ready[q]  # stale value must not leak
+
+
+def test_high_water_mark():
+    rf = PhysRegFile(4)
+    a = rf.alloc(1)
+    b = rf.alloc(1)
+    rf.drop_map_claim(a)
+    rf.alloc(1)
+    assert rf.high_water == 2
+    assert rf.refs(b) == (1, 0)

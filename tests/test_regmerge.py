@@ -1,0 +1,111 @@
+"""Commit-time register merging unit (paper §4.2.7)."""
+
+from repro.core.regmerge import RegisterMergeUnit, values_equal
+from repro.core.rst import RegisterSharingTable
+
+
+def unit(threads=2, ports=2):
+    merge = RegisterMergeUnit(threads, read_ports=ports)
+    merge.new_cycle()
+    return merge
+
+
+def test_values_equal_kinds():
+    assert values_equal(1, 1)
+    assert values_equal(1.5, 1.5)
+    assert not values_equal(1, 1.0)  # int/float encodings differ
+    assert not values_equal(1, 2)
+    assert not values_equal(float("nan"), float("nan"))
+
+
+def test_writer_tracking():
+    merge = unit()
+    assert merge.no_active_writer[0][5]
+    merge.on_writer_allocated(0b01, 5)
+    assert not merge.no_active_writer[0][5]
+    merge.on_writer_retired(0, 5, mapping_valid=True)
+    assert merge.no_active_writer[0][5]
+
+
+def test_retire_with_invalid_mapping_keeps_bit_clear():
+    merge = unit()
+    merge.on_writer_allocated(0b01, 5)
+    merge.on_writer_allocated(0b01, 5)  # younger writer
+    merge.on_writer_retired(0, 5, mapping_valid=False)
+    assert not merge.no_active_writer[0][5]
+
+
+def test_merge_sets_rst_pair_on_equal_values():
+    merge = unit()
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(
+        0b01, 5, 42, rst, read_other_value=lambda u: 42, active_mask=0b11
+    )
+    assert merged == 1
+    assert rst.pair_shared(5, 0, 1)
+    assert rst.eid_uses_merge(0b11, (5,))  # provenance taint set
+
+
+def test_no_merge_on_different_values():
+    merge = unit()
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(
+        0b01, 5, 42, rst, read_other_value=lambda u: 43, active_mask=0b11
+    )
+    assert merged == 0
+    assert not rst.pair_shared(5, 0, 1)
+
+
+def test_no_check_when_other_thread_has_active_writer():
+    merge = unit()
+    rst = RegisterSharingTable()
+    merge.on_writer_allocated(0b10, 5)
+    merged = merge.try_merge(
+        0b01, 5, 42, rst, read_other_value=lambda u: 42, active_mask=0b11
+    )
+    assert merged == 0
+    assert merge.attempts == 0
+
+
+def test_already_shared_pairs_skip_ports():
+    merge = unit()
+    rst = RegisterSharingTable()
+    rst.set_pair(5, 0, 1, True)
+    merge.try_merge(0b01, 5, 42, rst, lambda u: 42, active_mask=0b11)
+    assert merge.attempts == 0
+
+
+def test_read_port_budget():
+    merge = RegisterMergeUnit(4, read_ports=1)
+    merge.new_cycle()
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(0b0001, 5, 42, rst, lambda u: 42, active_mask=0b1111)
+    assert merged == 1  # only one check fit in the port budget
+    assert merge.port_starved == 1
+    merge.new_cycle()
+    merged = merge.try_merge(0b0001, 5, 42, rst, lambda u: 42, active_mask=0b1111)
+    assert merged == 1  # budget refreshed
+
+
+def test_inactive_threads_skipped():
+    merge = unit(threads=4)
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(0b0001, 5, 42, rst, lambda u: 42, active_mask=0b0011)
+    assert merged == 1  # only thread 1 was active and checked
+    assert not rst.pair_shared(5, 0, 2)
+
+
+def test_unready_other_value_skipped():
+    merge = unit()
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(0b01, 5, 42, rst, lambda u: None, active_mask=0b11)
+    assert merged == 0
+
+
+def test_merged_committer_sets_pairs_for_all_owners():
+    merge = unit(threads=4)
+    rst = RegisterSharingTable()
+    merged = merge.try_merge(0b0011, 5, 7, rst, lambda u: 7, active_mask=0b1111)
+    assert merged == 2  # threads 2 and 3 both matched
+    assert rst.pair_shared(5, 0, 2) and rst.pair_shared(5, 1, 2)
+    assert rst.pair_shared(5, 0, 3) and rst.pair_shared(5, 1, 3)

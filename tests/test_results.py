@@ -1,0 +1,50 @@
+"""Figure-data persistence (JSON export)."""
+
+import json
+
+from repro.harness.cli import main
+from repro.harness.results import dump_figure, load_figure
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    rows = [{"app": "x", "speedup": 1.25, "_private": "dropped"}]
+    path = dump_figure("fig5a", rows, tmp_path / "out" / "fig5a.json", scale=0.5)
+    data = load_figure(path)
+    assert data["figure"] == "fig5a"
+    assert data["scale"] == 0.5
+    assert data["rows"][0]["speedup"] == 1.25
+    assert "_private" not in data["rows"][0]
+
+
+def test_non_string_keys_stringified(tmp_path):
+    rows = [{"app": "x", 8: 1.0, 16: 1.1}]
+    path = dump_figure("fig7a", rows, tmp_path / "fig7a.json")
+    data = load_figure(path)
+    assert data["rows"][0]["8"] == 1.0
+
+
+def test_extra_metadata(tmp_path):
+    path = dump_figure("t", [], tmp_path / "t.json", extra={"threads": 2})
+    assert load_figure(path)["threads"] == 2
+
+
+def test_output_is_valid_json_text(tmp_path):
+    path = dump_figure("t", [{"a": 1}], tmp_path / "t.json")
+    json.loads(path.read_text())
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    out = tmp_path / "fig1.json"
+    assert main(["fig1", "--apps", "ammp", "--scale", "0.2",
+                 "--json", str(out)]) == 0
+    data = load_figure(out)
+    assert data["figure"] == "fig1"
+    assert any(row["app"] == "ammp" for row in data["rows"])
+    assert "rows written" in capsys.readouterr().out
+
+
+def test_cli_json_tables(tmp_path):
+    out = tmp_path / "t4.json"
+    assert main(["table4", "--json", str(out)]) == 0
+    data = load_figure(out)
+    assert ["ROB Size", "256"] in data["rows"]

@@ -1,0 +1,169 @@
+"""Fetch synchronization FSM: groups, divergence, catchup, remerge."""
+
+import pytest
+
+from repro.core.sync import FetchMode, SyncController
+
+
+def controller(n=2, **kw):
+    return SyncController(n, **kw)
+
+
+def test_initial_single_group_when_enabled():
+    sync = controller(4)
+    groups = sync.active_groups()
+    assert len(groups) == 1
+    assert groups[0].mask == 0b1111
+    assert sync.mode_of(groups[0]) is FetchMode.MERGE
+
+
+def test_disabled_controller_keeps_singletons():
+    sync = controller(2, enabled=False)
+    groups = sync.active_groups()
+    assert len(groups) == 2
+    assert all(g.size == 1 for g in groups)
+    for g in groups:
+        assert sync.mode_of(g) is FetchMode.DETECT
+
+
+def test_divergence_splits_group():
+    sync = controller(2)
+    group = sync.active_groups()[0]
+    subgroups = sync.on_divergence(group, [0b01, 0b10])
+    assert len(subgroups) == 2
+    assert sync.group_of(0).mask == 0b01
+    assert sync.group_of(1).mask == 0b10
+    assert sync.stats.divergences == 1
+
+
+def test_divergence_mask_validation():
+    sync = controller(2)
+    group = sync.active_groups()[0]
+    with pytest.raises(ValueError):
+        sync.on_divergence(group, [0b01])
+    with pytest.raises(ValueError):
+        sync.on_divergence(group, [0b01, 0b01])
+
+
+def test_taken_branch_triggers_catchup():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    # a records targets; b then takes a branch to one of them.
+    sync.on_taken_branch(a, 500)
+    sync.on_taken_branch(b, 500)
+    assert sync.mode_of(b) is FetchMode.CATCHUP
+    assert sync.catchup_ahead_gids() == {a.gid}
+    assert sync.behinds_of(a.gid) == [b.gid]
+    assert sync.stats.catchup_entries == 1
+
+
+def test_catchup_false_positive_exit():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    sync.on_taken_branch(a, 500)
+    sync.on_taken_branch(b, 500)  # enter catchup
+    sync.on_taken_branch(b, 999)  # not in a's history
+    assert sync.mode_of(b) is FetchMode.DETECT
+    assert sync.stats.catchup_false_positives == 1
+
+
+def test_catchup_timeout():
+    sync = controller(2, max_catchup_branches=2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    sync.on_taken_branch(a, 500)
+    sync.on_taken_branch(a, 501)
+    sync.on_taken_branch(b, 500)  # enter catchup (budget 2)
+    sync.on_taken_branch(b, 501)  # hit, budget -> 1
+    sync.on_taken_branch(b, 500)  # hit, budget -> 0: timeout
+    assert sync.stats.catchup_timeouts == 1
+    assert sync.mode_of(b) is FetchMode.DETECT
+
+
+def test_remerge_on_pc_equality():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    events = sync.check_merges({a.gid: 42, b.gid: 42})
+    assert len(events) == 1
+    assert sync.is_fully_merged()
+    assert sync.stats.remerges == 1
+    survivor = sync.active_groups()[0]
+    assert survivor.mask == 0b11
+    assert survivor.drain_pending
+
+
+def test_no_merge_on_different_pcs():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    assert sync.check_merges({a.gid: 42, b.gid: 43}) == []
+    assert not sync.is_fully_merged()
+
+
+def test_remerge_distance_recorded():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    for n in range(5):
+        sync.on_taken_branch(a, 1000 + n)
+    sync.check_merges({a.gid: 42, b.gid: 42})
+    assert sync.stats.remerge_branch_distances == [5]
+    assert sync.stats.remerge_within(16) == 1.0
+    assert sync.stats.remerge_within(4) == 0.0
+
+
+def test_fhbs_cleared_at_episode_boundaries():
+    sync = controller(2)
+    a, b = sync.on_divergence(sync.active_groups()[0], [0b01, 0b10])
+    sync.on_taken_branch(a, 500)
+    sync.check_merges({a.gid: 7, b.gid: 7})
+    group = sync.active_groups()[0]
+    a2, b2 = sync.on_divergence(group, [0b01, 0b10])
+    # Thread b's first post-divergence branch must not hit thread a's
+    # pre-divergence history (the stale-FHB pathology).
+    sync.on_taken_branch(b2, 500)
+    assert sync.mode_of(b2) is FetchMode.DETECT
+
+
+def test_three_way_divergence_and_partial_merge():
+    sync = controller(4)
+    group = sync.active_groups()[0]
+    parts = sync.on_divergence(group, [0b0011, 0b0100, 0b1000])
+    assert sorted(p.mask for p in parts) == [0b0011, 0b0100, 0b1000]
+    assert sync.mode_of(sync.group_of(0)) is FetchMode.MERGE  # pair merged
+    pcs = {sync.group_of(2).gid: 9, sync.group_of(3).gid: 9,
+           sync.group_of(0).gid: 1}
+    sync.check_merges(pcs)
+    assert sync.group_of(2).mask == 0b1100
+    assert not sync.is_fully_merged()
+
+
+def test_halt_removes_thread():
+    sync = controller(2)
+    sync.on_halt(0)
+    assert sync.group_of(1).mask == 0b10
+    with pytest.raises(ValueError):
+        sync.group_of(0)
+
+
+def test_isolate_creates_singleton():
+    sync = controller(4)
+    isolated = sync.isolate(2)
+    assert isolated.mask == 0b0100
+    assert sync.group_of(0).mask == 0b1011
+
+
+def test_isolate_after_halt_recreates_group():
+    sync = controller(2)
+    sync.on_halt(1)
+    group = sync.isolate(1)
+    assert group.mask == 0b10
+    assert sync.group_of(1) is group
+
+
+def test_fetch_order_priorities():
+    sync = controller(3)
+    group = sync.active_groups()[0]
+    a, b, c = sync.on_divergence(group, [0b001, 0b010, 0b100])
+    sync.on_taken_branch(a, 77)
+    sync.on_taken_branch(b, 77)  # b chases a
+    order = sync.fetch_order({a.gid: 0, b.gid: 10, c.gid: 5})
+    assert order[0] is b  # catchup-behind first despite high icount
+    assert order[-1] is a  # catchup-ahead last despite low icount
