@@ -6,12 +6,13 @@ the paper's values.  Headline targets: ~88% fetch-identical and ~35%
 execute-identical on average.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig1_sharing, format_table
 
 
 def test_fig1_sharing_breakdown(benchmark, scale):
+    prefetch("fig1", scale)
     rows = benchmark.pedantic(
         lambda: fig1_sharing(scale=scale), rounds=1, iterations=1
     )

@@ -6,13 +6,14 @@ programs except equake and vortex have >85% of divergences within 16 taken
 branches — short taken-branch history (the FHB) suffices for remerging.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig2_divergence, format_table
 from repro.profiling.divergence import FIG2_BUCKETS
 
 
 def test_fig2_divergence_histogram(benchmark, scale):
+    prefetch("fig2", scale)
     rows = benchmark.pedantic(
         lambda: fig2_divergence(scale=scale), rounds=1, iterations=1
     )

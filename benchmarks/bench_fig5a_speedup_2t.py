@@ -6,12 +6,13 @@ ammp/equake/mcf/water/swaptions/fluidanimate gain the most, while
 libsvm/twolf/vortex/vpr/ocean/lu/fft gain 0–10%.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig5_speedups, format_table
 
 
 def test_fig5a_speedups_two_threads(benchmark, scale):
+    prefetch("fig5a", scale)
     rows = benchmark.pedantic(
         lambda: fig5_speedups(2, scale=scale), rounds=1, iterations=1
     )

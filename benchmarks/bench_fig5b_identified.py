@@ -8,12 +8,14 @@ half of which are execute-identical; equake/mcf/fft/water-ns show a
 noticeable RegMerge component.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig1_sharing, fig5b_identified, format_stacked_bars
 
 
 def test_fig5b_identified_identical(benchmark, scale):
+    prefetch("fig5b", scale)
+    prefetch("fig1", scale)
     rows = benchmark.pedantic(
         lambda: fig5b_identified(2, scale=scale), rounds=1, iterations=1
     )

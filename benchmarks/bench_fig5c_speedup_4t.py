@@ -5,12 +5,13 @@ gains than at two threads (more merge opportunity, more contention
 relieved).
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig5_speedups, format_table
 
 
 def test_fig5c_speedups_four_threads(benchmark, scale):
+    prefetch("fig5c", scale)
     rows4 = benchmark.pedantic(
         lambda: fig5_speedups(4, scale=scale), rounds=1, iterations=1
     )

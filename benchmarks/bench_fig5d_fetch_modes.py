@@ -6,12 +6,13 @@ vpr/twolf/vortex spend the least time in MERGE mode; 90% of remerges are
 found within 512 fetched branches.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig5d_modes, format_stacked_bars, geomean
 
 
 def test_fig5d_fetch_mode_breakdown(benchmark, scale):
+    prefetch("fig5d", scale)
     rows = benchmark.pedantic(
         lambda: fig5d_modes(2, scale=scale), rounds=1, iterations=1
     )

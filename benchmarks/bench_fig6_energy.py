@@ -7,7 +7,7 @@ consumes 50–90% of the SMT's energy (geomean ~66%), most apps saving
 10–20% already at two threads.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import fig6_energy, format_table
 
@@ -31,6 +31,7 @@ def _flatten(rows):
 
 
 def test_fig6_energy_per_job(benchmark, scale):
+    prefetch("fig6", scale)
     rows = benchmark.pedantic(
         lambda: fig6_energy(scale=scale), rounds=1, iterations=1
     )

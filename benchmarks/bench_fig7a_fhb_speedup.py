@@ -5,12 +5,13 @@ increases through 32 entries for all applications and keeps creeping up
 slightly; the paper picks 32 as the design point (single-cycle CAM).
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import FHB_SIZES, fig7a_fhb_speedup, format_table
 
 
 def test_fig7a_fhb_size_sweep(benchmark, scale):
+    prefetch("fig7a", scale)
     rows = benchmark.pedantic(
         lambda: fig7a_fhb_speedup(scale=scale), rounds=1, iterations=1
     )

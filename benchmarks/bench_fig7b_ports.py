@@ -5,12 +5,13 @@ make the fetch/execute merging *more* beneficial, because the front end
 becomes the remaining bottleneck.
 """
 
-from conftest import SWEEP_APPS, emit
+from conftest import SWEEP_APPS, emit, prefetch
 
 from repro.harness import LDST_PORT_COUNTS, fig7b_ports, format_table
 
 
 def test_fig7b_ldst_port_sweep(benchmark, scale):
+    prefetch("fig7b", scale, apps=SWEEP_APPS)
     rows = benchmark.pedantic(
         lambda: fig7b_ports(apps=SWEEP_APPS, scale=scale),
         rounds=1,

@@ -5,7 +5,7 @@ MERGE time for equake/ocean/lu/fft/water-ns) but can also lengthen
 CATCHUP for twolf/vortex/vpr/water-sp.
 """
 
-from conftest import emit
+from conftest import emit, prefetch
 
 from repro.harness import FHB_SIZES, fig7c_fhb_modes, format_table
 
@@ -13,6 +13,7 @@ APPS = ["equake", "vortex", "lu", "fft", "water-sp", "twolf"]
 
 
 def test_fig7c_fhb_mode_breakdown(benchmark, scale):
+    prefetch("fig7c", scale, apps=APPS)
     rows = benchmark.pedantic(
         lambda: fig7c_fhb_modes(apps=APPS, scale=scale), rounds=1, iterations=1
     )

@@ -5,12 +5,13 @@ relieves disappears) but remain positive — still ~11% at width 32 with a
 perfect-prediction trace cache.
 """
 
-from conftest import SWEEP_APPS, emit
+from conftest import SWEEP_APPS, emit, prefetch
 
 from repro.harness import FETCH_WIDTHS, fig7d_fetch_width, format_table
 
 
 def test_fig7d_fetch_width_sweep(benchmark, scale):
+    prefetch("fig7d", scale, apps=SWEEP_APPS)
     rows = benchmark.pedantic(
         lambda: fig7d_fetch_width(apps=SWEEP_APPS, scale=scale),
         rounds=1,

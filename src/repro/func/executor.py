@@ -31,7 +31,14 @@ def to_s64(value: int) -> int:
 
 
 class ExecutionError(RuntimeError):
-    """Raised when a program performs an architecturally invalid operation."""
+    """Raised when a program performs an architecturally invalid operation.
+
+    Every invalid operation — division by zero, out-of-range or unaligned
+    memory access, non-finite conversion, stepping past HALT — surfaces as
+    this one type, so callers (the pipeline, the campaign runner, the
+    differential tester) never have to catch bare ``ZeroDivisionError`` /
+    ``ValueError`` leaking out of the interpreter.
+    """
 
 
 class Executed:
@@ -76,15 +83,12 @@ class Executed:
 
 
 def _int_div(a: int, b: int) -> int:
-    if b == 0:
-        return 0  # architected: division by zero yields zero (no trap)
+    """Truncating signed division (caller guards b != 0)."""
     q = abs(a) // abs(b)
     return -q if (a < 0) != (b < 0) else q
 
 
 def _int_rem(a: int, b: int) -> int:
-    if b == 0:
-        return 0
     return a - _int_div(a, b) * b
 
 
@@ -114,6 +118,39 @@ class FunctionalExecutor:
         taken: bool | None = None
         next_pc = pc + 1
 
+        try:
+            result, addr, store_val, taken, next_pc = self._dispatch(
+                state, pc, inst, regs, op, result, addr, store_val, taken,
+                next_pc,
+            )
+        except ExecutionError:
+            raise
+        except (TypeError, ValueError, OverflowError, ZeroDivisionError) as exc:
+            # Any invalid operation the explicit guards below don't name
+            # (unaligned/negative memory addresses, non-finite conversions,
+            # integer ops on fp values, ...) surfaces uniformly.
+            raise ExecutionError(
+                f"context {state.tid}: invalid {op.name} at pc {pc}: {exc}"
+            ) from exc
+
+        if taken and inst.is_branch:
+            next_pc = inst.target
+
+        src_vals = tuple(regs[r] for r in inst.srcs)
+        if inst.dst is not None:
+            regs[inst.dst] = result
+        state.pc = next_pc
+        self.instret += 1
+        return Executed(
+            pc, inst, src_vals, result, addr, store_val, taken, next_pc, state.tid
+        )
+
+    def _dispatch(
+        self, state, pc, inst, regs, op, result, addr, store_val, taken, next_pc
+    ):
+        """Execute one opcode; returns (result, addr, store_val, taken,
+        next_pc).  Split from :meth:`step` so the uniform invalid-op
+        handling wraps exactly the semantic interpretation."""
         if op is Opcode.ADD:
             result = to_s64(regs[inst.rs1] + regs[inst.rs2])
         elif op is Opcode.ADDI:
@@ -123,8 +160,16 @@ class FunctionalExecutor:
         elif op is Opcode.MUL:
             result = to_s64(regs[inst.rs1] * regs[inst.rs2])
         elif op is Opcode.DIV:
+            if regs[inst.rs2] == 0:
+                raise ExecutionError(
+                    f"context {state.tid}: integer division by zero at pc {pc}"
+                )
             result = to_s64(_int_div(regs[inst.rs1], regs[inst.rs2]))
         elif op is Opcode.REM:
+            if regs[inst.rs2] == 0:
+                raise ExecutionError(
+                    f"context {state.tid}: integer remainder by zero at pc {pc}"
+                )
             result = to_s64(_int_rem(regs[inst.rs1], regs[inst.rs2]))
         elif op is Opcode.AND:
             result = to_s64(regs[inst.rs1] & regs[inst.rs2])
@@ -166,10 +211,19 @@ class FunctionalExecutor:
             result = float(regs[inst.rs1]) * float(regs[inst.rs2])
         elif op is Opcode.FDIV:
             divisor = float(regs[inst.rs2])
-            result = float(regs[inst.rs1]) / divisor if divisor != 0.0 else 0.0
+            if divisor == 0.0:
+                raise ExecutionError(
+                    f"context {state.tid}: fp division by zero at pc {pc}"
+                )
+            result = float(regs[inst.rs1]) / divisor
         elif op is Opcode.FSQRT:
             operand = float(regs[inst.rs1])
-            result = math.sqrt(operand) if operand >= 0.0 else 0.0
+            if operand < 0.0:
+                raise ExecutionError(
+                    f"context {state.tid}: square root of negative value "
+                    f"at pc {pc}"
+                )
+            result = math.sqrt(operand)
         elif op is Opcode.FNEG:
             result = -float(regs[inst.rs1])
         elif op is Opcode.FABS:
@@ -232,17 +286,7 @@ class FunctionalExecutor:
         else:  # pragma: no cover - exhaustive over Opcode
             raise ExecutionError(f"unimplemented opcode {op}")
 
-        if taken and inst.is_branch:
-            next_pc = inst.target
-
-        src_vals = tuple(regs[r] for r in inst.srcs)
-        if inst.dst is not None:
-            regs[inst.dst] = result
-        state.pc = next_pc
-        self.instret += 1
-        return Executed(
-            pc, inst, src_vals, result, addr, store_val, taken, next_pc, state.tid
-        )
+        return result, addr, store_val, taken, next_pc
 
     def run(self, max_steps: int = 10_000_000) -> int:
         """Run until HALT (or *max_steps*); returns instructions retired."""

@@ -1,0 +1,437 @@
+"""Parallel simulation campaigns with on-disk result caching.
+
+A *campaign* is a batch of independent jobs — typically (workload,
+configuration) simulation points — executed across all cores with:
+
+* **content-addressed result caching** — each job is keyed by a stable
+  hash of its specification, the runner that executes it, and a
+  fingerprint of the simulator's source code, so re-running a sweep only
+  executes points whose inputs actually changed;
+* **deterministic per-job seeds** — derived from the campaign seed and
+  the job key alone, so results never depend on worker count or
+  scheduling order;
+* **graceful degradation** — a hung or crashed job gets a per-job
+  timeout plus a bounded number of retries and is *reported*, not fatal:
+  a 100-point sweep with one bad point still yields 99 results;
+* **streamed progress** — one line per job completion (hit/ok/failed/
+  timeout) through a pluggable callback.
+
+The runner is deliberately generic: any picklable job object plus a
+module-level ``runner(job, seed) -> payload`` callable works, which is
+what the differential/figure layers and the unit tests build on.
+``repro.harness.experiment`` provides the standard simulation job type
+(:class:`CampaignJob`) and runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default cache root (override with the REPRO_CACHE_DIR environment
+#: variable or the ``cache_dir`` argument).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Extra attempts after the first failed/hung one.
+DEFAULT_RETRIES = 1
+
+_OK, _FAILED, _TIMEOUT = "ok", "failed", "timeout"
+
+
+# ------------------------------------------------------------------ keying
+def code_fingerprint() -> str:
+    """Hash of the repro package's source code (cached per process).
+
+    Campaign cache entries live under a directory named by this
+    fingerprint, so editing the simulator invalidates every cached result
+    without any manual cache management.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        override = os.environ.get("REPRO_CODE_FINGERPRINT")
+        if override:
+            _FINGERPRINT = override
+        else:
+            import repro
+
+            digest = hashlib.sha256()
+            root = Path(repro.__file__).parent
+            for path in sorted(root.rglob("*.py")):
+                digest.update(str(path.relative_to(root)).encode())
+                digest.update(path.read_bytes())
+            _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+_FINGERPRINT: str | None = None
+
+
+def _canonical(value):
+    """Reduce *value* to deterministic JSON-able primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def job_key(job, runner=None) -> str:
+    """Stable content hash identifying one (job, runner) pair.
+
+    Jobs may expose ``key_data()`` returning the specification to hash;
+    dataclass jobs hash their canonicalised fields, anything else its
+    ``repr``.  The runner's qualified name is mixed in so two runners
+    interpreting the same job type never collide in the cache.
+    """
+    if hasattr(job, "key_data"):
+        data = job.key_data()
+    else:
+        data = _canonical(job)
+    runner_id = "" if runner is None else (
+        f"{getattr(runner, '__module__', '')}.{getattr(runner, '__qualname__', repr(runner))}"
+    )
+    blob = json.dumps({"job": _canonical(data), "runner": runner_id},
+                      sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def derive_seed(campaign_seed: int, key: str) -> int:
+    """Deterministic per-job seed: a pure function of campaign seed and
+    job key, independent of worker count and completion order."""
+    digest = hashlib.sha256(f"{campaign_seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ------------------------------------------------------------------- cache
+class ResultCache:
+    """Content-addressed on-disk store of pickled job payloads.
+
+    Layout: ``<root>/<code-fingerprint>/<key[:2]>/<key>.pkl`` — one file
+    per result, sharded by key prefix, partitioned by simulator version
+    so stale results can never be served after a code change.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / code_fingerprint() / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The cached payload for *key*, or None (corrupt entries are
+        treated as misses and removed)."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, key: str, payload) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write to a per-writer temp file, then rename: atomic, and two
+        # campaigns storing the same key concurrently never collide.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+
+# ----------------------------------------------------------------- results
+@dataclass
+class JobOutcome:
+    """What happened to one campaign job."""
+
+    job: object
+    key: str
+    status: str  # "ok" | "failed" | "timeout"
+    payload: object = None
+    error: str | None = None
+    attempts: int = 0
+    wall_time: float = 0.0
+    from_cache: bool = False
+    seed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == _OK
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign, in input-job order, plus counters."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def payloads(self) -> list:
+        """Payloads of successful jobs, in job order."""
+        return [o.payload for o in self.outcomes if o.ok]
+
+    def summary(self) -> dict:
+        """Campaign-level aggregation (see results.summarize_campaign)."""
+        from repro.harness.results import summarize_campaign
+
+        return summarize_campaign(self)
+
+
+# ------------------------------------------------------------------ worker
+def _worker_entry(conn, runner, job, seed) -> None:
+    """Runs in the child process: execute one job, ship the result back."""
+    started = time.perf_counter()
+    try:
+        payload = runner(job, seed)
+        conn.send((_OK, payload, time.perf_counter() - started))
+    except BaseException as exc:  # noqa: BLE001 - reported, not fatal
+        try:
+            conn.send(
+                (_FAILED, f"{type(exc).__name__}: {exc}",
+                 time.perf_counter() - started)
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _Running:
+    """Bookkeeping for one in-flight attempt."""
+
+    __slots__ = ("index", "job", "key", "seed", "attempt", "proc", "conn",
+                 "started")
+
+    def __init__(self, index, job, key, seed, attempt, proc, conn) -> None:
+        self.index = index
+        self.job = job
+        self.key = key
+        self.seed = seed
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = time.perf_counter()
+
+
+def _terminate(proc) -> None:
+    proc.terminate()
+    proc.join(timeout=5)
+    if proc.is_alive():  # pragma: no cover - stubborn child
+        proc.kill()
+        proc.join(timeout=5)
+
+
+# ------------------------------------------------------------------ runner
+def run_campaign(
+    jobs,
+    runner,
+    *,
+    workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    cache: ResultCache | str | Path | None = None,
+    use_cache: bool = True,
+    campaign_seed: int = 0,
+    progress=None,
+    poll_interval: float = 0.02,
+) -> CampaignResult:
+    """Execute *jobs* through *runner* across worker processes.
+
+    * ``runner(job, seed) -> payload`` must be a module-level callable and
+      the payload picklable.
+    * ``workers`` defaults to the machine's core count (capped by the
+      number of jobs); ``workers=0``/``1`` still uses one worker process,
+      so a hung job can always be killed.
+    * ``timeout`` is per attempt, in seconds; a timed-out or crashed
+      attempt is retried up to *retries* more times, then reported as a
+      failure without aborting the campaign.
+    * ``cache`` may be a :class:`ResultCache`, a directory path, or None
+      (meaning the default directory); ``use_cache=False`` disables both
+      lookup and storage.
+    * ``progress`` is an optional ``callable(str)`` receiving one line
+      per job completion.
+    """
+    jobs = list(jobs)
+    result = CampaignResult(outcomes=[None] * len(jobs))
+    if not jobs:
+        return result
+    if use_cache:
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+    else:
+        cache = None
+    emit = progress if callable(progress) else (lambda line: None)
+    started = time.perf_counter()
+    done = 0
+    total = len(jobs)
+
+    def finish(index: int, outcome: JobOutcome) -> None:
+        nonlocal done
+        done += 1
+        result.outcomes[index] = outcome
+        tag = "hit " if outcome.from_cache else {
+            _OK: "ok  ", _FAILED: "FAIL", _TIMEOUT: "HUNG"
+        }[outcome.status]
+        detail = f"{outcome.wall_time:6.2f}s"
+        if outcome.error:
+            detail += f"  {outcome.error}"
+        if outcome.attempts > 1:
+            detail += f"  (attempt {outcome.attempts})"
+        emit(f"[{done:>{len(str(total))}}/{total}] {tag} "
+             f"{job_label(outcome.job)}  {detail}")
+
+    # Phase 1: serve everything we can from the cache.
+    pending: deque = deque()
+    for index, job in enumerate(jobs):
+        key = job_key(job, runner)
+        seed = derive_seed(campaign_seed, key)
+        cached = cache.load(key) if cache is not None else None
+        if cached is not None:
+            result.cache_hits += 1
+            finish(index, JobOutcome(
+                job=job, key=key, status=_OK, payload=cached,
+                attempts=0, wall_time=0.0, from_cache=True, seed=seed,
+            ))
+        else:
+            if cache is not None:
+                result.cache_misses += 1
+            pending.append((index, job, key, seed, 1))
+
+    # Phase 2: fan the rest out across worker processes.
+    if pending:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = max(1, min(workers, len(pending)))
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        running: list[_Running] = []
+        try:
+            while pending or running:
+                while pending and len(running) < workers:
+                    index, job, key, seed, attempt = pending.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_worker_entry,
+                        args=(child_conn, runner, job, seed),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    running.append(
+                        _Running(index, job, key, seed, attempt, proc,
+                                 parent_conn)
+                    )
+                time.sleep(poll_interval)
+                still: list[_Running] = []
+                for entry in running:
+                    status = error = payload = None
+                    if entry.conn.poll():
+                        kind, body, _child_wall = entry.conn.recv()
+                        entry.proc.join()
+                        if kind == _OK:
+                            status, payload = _OK, body
+                        else:
+                            status, error = _FAILED, body
+                    elif not entry.proc.is_alive():
+                        entry.proc.join()
+                        status = _FAILED
+                        error = f"worker died (exitcode {entry.proc.exitcode})"
+                    elif (timeout is not None
+                          and time.perf_counter() - entry.started > timeout):
+                        _terminate(entry.proc)
+                        status = _TIMEOUT
+                        error = f"timed out after {timeout:g}s"
+                    if status is None:
+                        still.append(entry)
+                        continue
+                    entry.conn.close()
+                    wall = time.perf_counter() - entry.started
+                    if status == _OK:
+                        if cache is not None:
+                            cache.store(entry.key, payload)
+                        finish(entry.index, JobOutcome(
+                            job=entry.job, key=entry.key, status=_OK,
+                            payload=payload, attempts=entry.attempt,
+                            wall_time=wall, seed=entry.seed,
+                        ))
+                    elif entry.attempt <= retries:
+                        result.retries += 1
+                        emit(f"[retry] {job_label(entry.job)}  {error}"
+                             f"  (attempt {entry.attempt} of "
+                             f"{retries + 1})")
+                        pending.append(
+                            (entry.index, entry.job, entry.key, entry.seed,
+                             entry.attempt + 1)
+                        )
+                    else:
+                        finish(entry.index, JobOutcome(
+                            job=entry.job, key=entry.key, status=status,
+                            error=error, attempts=entry.attempt,
+                            wall_time=wall, seed=entry.seed,
+                        ))
+                running = still
+        finally:
+            for entry in running:  # pragma: no cover - interrupted campaign
+                _terminate(entry.proc)
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+def job_label(job) -> str:
+    """One-line display label for a job (jobs may provide their own)."""
+    label = getattr(job, "label", None)
+    if callable(label):
+        return label()
+    if isinstance(label, str):
+        return label
+    return repr(job)

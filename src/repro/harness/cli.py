@@ -6,18 +6,37 @@ Usage::
     python -m repro fig5a                # Figure 5(a), paper layout
     python -m repro fig6 --scale 0.5     # faster, smaller workloads
     python -m repro fig1 --apps ammp vpr
+    python -m repro fig5a --workers 8    # parallel prefetch of the runs
+    python -m repro campaign --apps ammp mcf --configs Base MMT-FXR \
+        --threads 2 4 --workers 8       # batch sweep with result caching
 
-Each target prints the same report the corresponding benchmark emits, but
-without pytest in the loop — convenient for exploring one result.
+Each figure target prints the same report the corresponding benchmark
+emits, but without pytest in the loop — convenient for exploring one
+result.  ``campaign`` runs an arbitrary (apps × configs × threads) sweep
+through the parallel campaign runner: results are cached on disk (keyed
+by configuration and code version), hung jobs are timed out and retried,
+and a summary with cache hit/miss counts is printed at the end.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from repro.harness import figures, report
+from repro.core.config import MMTConfig
+from repro.harness import experiment, figures, report, results
 from repro.profiling.divergence import FIG2_BUCKETS
+
+#: Config names accepted by ``repro campaign --configs``.
+CONFIG_FACTORIES = {
+    "Base": MMTConfig.base,
+    "MMT-F": MMTConfig.mmt_f,
+    "MMT-FX": MMTConfig.mmt_fx,
+    "MMT-FXR": MMTConfig.mmt_fxr,
+    "MMT-FXR+H": MMTConfig.mmt_fxr_hints,
+    "Limit": MMTConfig.limit,
+}
 
 
 def _fig1(args) -> str:
@@ -153,6 +172,95 @@ def _table5(args) -> str:
     )
 
 
+# ---------------------------------------------------------------- campaign
+def _hang_forever() -> None:  # pragma: no cover - killed by the timeout
+    while True:
+        time.sleep(3600)
+
+
+def demo_runner(job, seed):
+    """Campaign runner used by ``repro campaign``: simulates the job,
+    except for jobs tagged ``inject-hang`` (the ``--inject-hang`` fault-
+    injection demo), which hang until the per-job timeout kills them."""
+    if getattr(job, "tag", "") == "inject-hang":
+        _hang_forever()
+    return experiment.simulate_job(job, seed)
+
+
+def _campaign(args) -> int:
+    from repro.harness.campaign import run_campaign
+
+    apps = args.apps or experiment.default_apps()
+    unknown = [name for name in args.configs if name not in CONFIG_FACTORIES]
+    if unknown:
+        known = ", ".join(sorted(CONFIG_FACTORIES))
+        print(f"unknown config(s) {unknown}; choose from: {known}")
+        return 2
+    jobs = [
+        experiment.CampaignJob(app, CONFIG_FACTORIES[name](), threads,
+                               scale=args.scale)
+        for app in apps
+        for name in args.configs
+        for threads in args.threads
+    ]
+    if args.inject_hang:
+        jobs.append(
+            experiment.CampaignJob(apps[0], MMTConfig.base(),
+                                   args.threads[0], scale=args.scale,
+                                   tag="inject-hang")
+        )
+    result = run_campaign(
+        jobs,
+        demo_runner,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=args.cache_dir,
+        use_cache=not args.no_cache,
+        campaign_seed=args.seed,
+        progress=print,
+    )
+    rows = []
+    for outcome in result.outcomes:
+        job = outcome.job
+        row = {
+            "app": job.app + (f"[{job.tag}]" if job.tag else ""),
+            "config": job.config.name,
+            "threads": job.threads,
+            "status": outcome.status,
+            "source": "cache" if outcome.from_cache else "run",
+            "wall_s": outcome.wall_time,
+            "cycles": outcome.payload.stats.cycles if outcome.ok else "-",
+            "ipc": outcome.payload.stats.ipc() if outcome.ok else "-",
+        }
+        rows.append(row)
+    print(report.format_table(
+        rows,
+        columns=["app", "config", "threads", "status", "source", "wall_s",
+                 "cycles", "ipc"],
+        title=f"Campaign — {len(jobs)} jobs",
+    ))
+    summary = results.summarize_campaign(result)
+    print(report.format_pairs(
+        [(key, f"{value:.3f}" if isinstance(value, float) else str(value))
+         for key, value in summary.items()],
+        title="Campaign summary",
+    ))
+    failures = results.campaign_failure_rows(result)
+    if failures:
+        print(report.format_table(
+            failures,
+            columns=["job", "status", "attempts", "error"],
+            title="Failed jobs (reported, not fatal)",
+        ))
+    if args.json:
+        results.dump_campaign(result, args.json)
+        print(f"\n[campaign record written to {args.json}]")
+    # Partial failure is reported, not fatal; a sweep where *nothing*
+    # succeeded is an error for scripting purposes.
+    return 0 if (not jobs or result.completed) else 1
+
+
 TARGETS = {
     "fig1": (_fig1, "instruction-sharing breakdown"),
     "fig2": (_fig2, "divergent-path-length histogram"),
@@ -196,8 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list"],
-        help="which table/figure to regenerate ('list' to enumerate)",
+        choices=sorted(TARGETS) + ["list", "campaign"],
+        help="which table/figure to regenerate ('list' to enumerate; "
+        "'campaign' runs a parallel batch sweep)",
     )
     parser.add_argument(
         "--scale",
@@ -217,6 +326,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally dump the figure's data rows as JSON to PATH",
     )
+    parallel = parser.add_argument_group("parallel execution")
+    parallel.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run simulations as a parallel campaign with this many "
+        "worker processes (default for figures: serial; for campaign: "
+        "all cores)",
+    )
+    parallel.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (timed-out jobs are retried, "
+        "then reported)",
+    )
+    parallel.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for failed or hung jobs (default 1)",
+    )
+    parallel.add_argument(
+        "--cache-dir",
+        default=None,
+        help="campaign result cache directory (default .repro-cache, or "
+        "$REPRO_CACHE_DIR)",
+    )
+    parallel.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parallel.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed (per-job seeds derive deterministically)",
+    )
+    campaign = parser.add_argument_group("campaign target")
+    campaign.add_argument(
+        "--configs",
+        nargs="*",
+        default=["Base", "MMT-FXR"],
+        help=f"configurations to sweep ({', '.join(CONFIG_FACTORIES)})",
+    )
+    campaign.add_argument(
+        "--threads",
+        type=int,
+        nargs="*",
+        default=[2],
+        help="hardware thread counts to sweep (default: 2)",
+    )
+    campaign.add_argument(
+        "--inject-hang",
+        action="store_true",
+        help="append one deliberately hanging job (timeout/retry demo)",
+    )
     return parser
 
 
@@ -226,7 +393,18 @@ def main(argv=None) -> int:
         width = max(len(name) for name in TARGETS)
         for name in sorted(TARGETS):
             print(f"{name.ljust(width)}  {TARGETS[name][1]}")
+        print(f"{'campaign'.ljust(width)}  parallel batch sweep with "
+              "result caching")
         return 0
+    if args.target == "campaign":
+        return _campaign(args)
+    if args.workers:
+        figures.prefetch_figure(
+            args.target, apps=args.apps, scale=args.scale,
+            workers=args.workers, cache=args.cache_dir,
+            use_cache=not args.no_cache, timeout=args.timeout,
+            retries=args.retries, progress=print,
+        )
     handler, _ = TARGETS[args.target]
     print(handler(args))
     if args.json:

@@ -4,6 +4,12 @@ Every figure regenerator goes through :func:`run_app`, which memoises
 completed runs per (application, configuration, thread count, machine) so
 that e.g. Figures 5(a), 5(b), 5(d) and 6 — which all need the same MMT-FXR
 runs — simulate each point once per session.
+
+Batches of points go through :func:`run_points`, which fans them out
+across worker processes via :mod:`repro.harness.campaign` (with on-disk
+result caching and per-job timeout/retry) and then seeds the in-memory
+memo, so the serial figure code downstream gets every simulation for
+free.
 """
 
 from __future__ import annotations
@@ -12,6 +18,10 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.config import MMTConfig
+from repro.harness.campaign import (
+    CampaignResult,
+    run_campaign,
+)
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.smt import SMTCore
 from repro.pipeline.stats import SimStats
@@ -39,12 +49,76 @@ class RunResult:
         return self.stats.cycles
 
 
+@dataclass(frozen=True)
+class CampaignJob:
+    """One simulation point, as a picklable, hashable campaign job.
+
+    ``machine=None`` means the default machine for the thread count, as
+    in :func:`run_app`.  ``tag`` distinguishes otherwise-identical jobs
+    (and is part of the cache key); runners that inject faults or extra
+    behaviours key off it.
+    """
+
+    app: str
+    config: MMTConfig
+    threads: int
+    machine: MachineConfig | None = None
+    scale: float = 1.0
+    strict: bool = True
+    tag: str = ""
+
+    def label(self) -> str:
+        return f"{self.app}/{self.config.name}/{self.threads}t" + (
+            f"[{self.tag}]" if self.tag else ""
+        )
+
+    def memo_key(self) -> tuple:
+        """The in-memory memo key :func:`run_app` would use."""
+        machine = _normalize_machine(self.machine, self.threads)
+        return (self.app, self.config, self.threads, machine, self.scale,
+                self.strict)
+
+
 _CACHE: dict[tuple, RunResult] = {}
 
 
 def clear_cache() -> None:
     """Drop all memoised runs (tests use this for isolation)."""
     _CACHE.clear()
+
+
+def _normalize_machine(
+    machine: MachineConfig | None, threads: int
+) -> MachineConfig:
+    machine = machine or MachineConfig(num_threads=threads)
+    if machine.num_threads < threads:
+        machine = machine.with_threads(threads)
+    return machine
+
+
+def _simulate(
+    app: str,
+    config: MMTConfig,
+    threads: int,
+    machine: MachineConfig,
+    scale: float,
+    strict: bool,
+) -> RunResult:
+    """Run one simulation point (no caching at this level)."""
+    build = build_workload(get_profile(app), threads, scale=scale)
+    job = build.limit_job() if config.limit_identical else build.job()
+    core = SMTCore(machine, config, job, strict=strict)
+    stats = core.run()
+    return RunResult(
+        app=app,
+        config=config,
+        threads=threads,
+        stats=stats,
+        energy=energy_of_run(core, EnergyParams()),
+        sync_stats=core.sync.stats,
+        build=build,
+        outputs=build.output_region(job),
+    )
 
 
 def run_app(
@@ -57,29 +131,69 @@ def run_app(
     use_cache: bool = True,
 ) -> RunResult:
     """Simulate *app* under *config* with *threads* hardware contexts."""
-    machine = machine or MachineConfig(num_threads=threads)
-    if machine.num_threads < threads:
-        machine = machine.with_threads(threads)
+    machine = _normalize_machine(machine, threads)
     key = (app, config, threads, machine, scale, strict)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-
-    build = build_workload(get_profile(app), threads, scale=scale)
-    job = build.limit_job() if config.limit_identical else build.job()
-    core = SMTCore(machine, config, job, strict=strict)
-    stats = core.run()
-    result = RunResult(
-        app=app,
-        config=config,
-        threads=threads,
-        stats=stats,
-        energy=energy_of_run(core, EnergyParams()),
-        sync_stats=core.sync.stats,
-        build=build,
-        outputs=build.output_region(job),
-    )
+    result = _simulate(app, config, threads, machine, scale, strict)
     if use_cache:
         _CACHE[key] = result
+    return result
+
+
+def simulate_job(job: CampaignJob, seed: int) -> RunResult:
+    """Standard campaign runner: execute one :class:`CampaignJob`.
+
+    Runs in a worker process; the returned :class:`RunResult` is shipped
+    back (and disk-cached) by the campaign layer.  The derived *seed* is
+    unused here — paper workloads are bit-deterministic by construction —
+    but the signature keeps the runner drop-in compatible with stochastic
+    runners.
+    """
+    del seed
+    machine = _normalize_machine(job.machine, job.threads)
+    return _simulate(
+        job.app, job.config, job.threads, machine, job.scale, job.strict
+    )
+
+
+def run_points(
+    points,
+    *,
+    workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    cache=None,
+    use_cache: bool = True,
+    campaign_seed: int = 0,
+    progress=None,
+) -> CampaignResult:
+    """Run many simulation points in parallel and seed the in-memory memo.
+
+    *points* is an iterable of :class:`CampaignJob` or of
+    ``(app, config, threads[, machine[, scale[, strict]]])`` tuples.
+    After this returns, a serial :func:`run_app` call for any successful
+    point is a memo hit — which is how the figure regenerators and the
+    benchmark drivers get their parallelism without restructuring.
+    """
+    jobs = [
+        point if isinstance(point, CampaignJob) else CampaignJob(*point)
+        for point in points
+    ]
+    result = run_campaign(
+        jobs,
+        simulate_job,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        cache=cache,
+        use_cache=use_cache,
+        campaign_seed=campaign_seed,
+        progress=progress,
+    )
+    for outcome in result.outcomes:
+        if outcome.ok:
+            _CACHE[outcome.job.memo_key()] = outcome.payload
     return result
 
 

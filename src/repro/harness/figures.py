@@ -7,12 +7,17 @@ them.  ``repro.harness.report`` renders them in the paper's layout.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.config import MMTConfig
 from repro.core.sync import FetchMode
+from repro.harness.campaign import run_campaign
 from repro.harness.experiment import (
+    CampaignJob,
     default_apps,
     geomean,
     run_app,
+    run_points,
     speedup_over_base,
 )
 from repro.pipeline.config import MachineConfig
@@ -28,27 +33,51 @@ PROFILE_CONTEXTS = 2
 
 
 # ------------------------------------------------------------------ Figure 1
+@dataclass(frozen=True)
+class SharingPoint:
+    """One profiling point of the Figure 1/2 motivation study."""
+
+    app: str
+    scale: float = 1.0
+
+    def label(self) -> str:
+        return f"{self.app}/sharing"
+
+
+#: Memo of computed sharing rows, keyed by (app, scale).  Deterministic
+#: (traces are seeded by app name), so campaign prefetch and the serial
+#: path below fill it interchangeably.
+_SHARING_ROWS: dict[tuple[str, float], dict] = {}
+
+
+def sharing_row(point: SharingPoint, seed: int = 0) -> dict:
+    """Campaign runner for one Figure 1 row (functional trace profiling)."""
+    del seed  # trace capture is deterministic per application
+    profile = get_profile(point.app)
+    build = build_workload(profile, PROFILE_CONTEXTS, scale=point.scale)
+    traces = capture_job_traces(build.job())
+    sharing = analyze_job(traces)
+    exec_frac = sharing.execute_identical_fraction
+    fetch_frac = sharing.fetch_identical_fraction
+    return {
+        "app": point.app,
+        "execute_identical": exec_frac,
+        "fetch_identical_only": max(0.0, fetch_frac - exec_frac),
+        "not_identical": max(0.0, 1.0 - fetch_frac),
+        "paper_execute_identical": profile.fig1_exec,
+        "paper_fetch_identical": profile.fig1_fetch,
+        "_gaps": sharing.gaps,
+    }
+
+
 def fig1_sharing(apps=None, scale: float = 1.0) -> list[dict]:
     """Instruction-sharing breakdown per application (paper Figure 1)."""
     rows = []
     for app in apps or default_apps():
-        profile = get_profile(app)
-        build = build_workload(profile, PROFILE_CONTEXTS, scale=scale)
-        traces = capture_job_traces(build.job())
-        sharing = analyze_job(traces)
-        exec_frac = sharing.execute_identical_fraction
-        fetch_frac = sharing.fetch_identical_fraction
-        rows.append(
-            {
-                "app": app,
-                "execute_identical": exec_frac,
-                "fetch_identical_only": max(0.0, fetch_frac - exec_frac),
-                "not_identical": max(0.0, 1.0 - fetch_frac),
-                "paper_execute_identical": profile.fig1_exec,
-                "paper_fetch_identical": profile.fig1_fetch,
-                "_gaps": sharing.gaps,
-            }
-        )
+        memo = (app, scale)
+        if memo not in _SHARING_ROWS:
+            _SHARING_ROWS[memo] = sharing_row(SharingPoint(app, scale))
+        rows.append(dict(_SHARING_ROWS[memo]))
     avg = {
         "app": "average",
         "execute_identical": sum(r["execute_identical"] for r in rows) / len(rows),
@@ -290,3 +319,99 @@ def table4_configuration(machine: MachineConfig | None = None) -> list[tuple[str
 def table5_configurations() -> list[tuple[str, str]]:
     """The evaluated MMT configurations (paper Table 5)."""
     return MMTConfig.table5_rows()
+
+
+# ------------------------------------------------- campaign prefetching
+def figure_points(
+    fig_id: str, apps=None, scale: float = 1.0
+) -> list[CampaignJob]:
+    """Every simulation point *fig_id* needs, as campaign jobs.
+
+    Speedup figures include the Base runs their numerators divide by.
+    Returns [] for figures that do not run the cycle-level simulator
+    (fig1/fig2 profile functional traces; tables need no runs at all).
+    """
+    apps = list(apps or default_apps())
+    points: list[CampaignJob] = []
+
+    def add(config, threads, machine=None):
+        points.extend(
+            CampaignJob(app, config, threads, machine=machine, scale=scale)
+            for app in apps
+        )
+
+    if fig_id in ("fig5a", "fig5c"):
+        threads = 2 if fig_id == "fig5a" else 4
+        for config in MMTConfig.all_paper_configs():
+            add(config, threads)
+    elif fig_id in ("fig5b", "fig5d"):
+        add(MMTConfig.mmt_fxr(), 2)
+    elif fig_id == "fig6":
+        for threads in (2, 4):
+            add(MMTConfig.base(), threads)
+            add(MMTConfig.mmt_fxr(), threads)
+    elif fig_id == "fig7a":
+        add(MMTConfig.base(), 2)
+        for size in FHB_SIZES:
+            add(MMTConfig.mmt_fxr().with_fhb_size(size), 2)
+    elif fig_id == "fig7c":
+        for size in FHB_SIZES:
+            add(MMTConfig.mmt_fxr().with_fhb_size(size), 2)
+    elif fig_id == "fig7b":
+        for count in LDST_PORT_COUNTS:
+            machine = MachineConfig(num_threads=4).with_ldst_ports(count)
+            add(MMTConfig.base(), 4, machine)
+            add(MMTConfig.mmt_fxr(), 4, machine)
+    elif fig_id == "fig7d":
+        for width in FETCH_WIDTHS:
+            machine = MachineConfig(num_threads=4).with_fetch_width(width)
+            add(MMTConfig.base(), 4, machine)
+            add(MMTConfig.mmt_fxr(), 4, machine)
+    else:
+        return []
+    return points
+
+
+def prefetch_figure(
+    fig_id: str,
+    apps=None,
+    scale: float = 1.0,
+    *,
+    workers: int | None = None,
+    cache=None,
+    use_cache: bool = True,
+    timeout: float | None = None,
+    retries: int = 1,
+    progress=None,
+):
+    """Run all of *fig_id*'s simulations as a parallel campaign.
+
+    Successful results are seeded into the serial memo caches, so the
+    figure regenerators afterwards reuse them without re-simulating.
+    Returns the :class:`~repro.harness.campaign.CampaignResult` (or None
+    for figures with nothing to prefetch).  Failed points are simply left
+    to the serial path — prefetching is an accelerator, never a gate.
+    """
+    if fig_id in ("fig1", "fig2"):
+        jobs = [
+            SharingPoint(app, scale) for app in (apps or default_apps())
+            if (app, scale) not in _SHARING_ROWS
+        ]
+        result = run_campaign(
+            jobs, sharing_row, workers=workers, cache=cache,
+            use_cache=use_cache, timeout=timeout, retries=retries,
+            progress=progress,
+        )
+        for outcome in result.outcomes:
+            if outcome.ok:
+                _SHARING_ROWS[(outcome.job.app, outcome.job.scale)] = (
+                    outcome.payload
+                )
+        return result
+    points = figure_points(fig_id, apps=apps, scale=scale)
+    if not points:
+        return None
+    return run_points(
+        points, workers=workers, cache=cache, use_cache=use_cache,
+        timeout=timeout, retries=retries, progress=progress,
+    )

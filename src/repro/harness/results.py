@@ -53,3 +53,78 @@ def dump_figure(
 def load_figure(path: str | Path) -> dict:
     """Read a dumped figure back."""
     return json.loads(Path(path).read_text())
+
+
+# ------------------------------------------------------------- campaigns
+def summarize_campaign(result) -> dict:
+    """Campaign-level aggregation of a :class:`~repro.harness.campaign.
+    CampaignResult`: job counts by status, cache hit/miss counts, retry
+    count, and wall-time statistics over the executed (non-cached) jobs.
+    """
+    outcomes = result.outcomes
+    executed = [o for o in outcomes if not o.from_cache]
+    # Failed/hung attempts cost wall time too — count them.
+    walls = [o.wall_time for o in executed]
+    summary = {
+        "jobs": len(outcomes),
+        "ok": sum(1 for o in outcomes if o.ok),
+        "failed": sum(1 for o in outcomes if o.status == "failed"),
+        "timeout": sum(1 for o in outcomes if o.status == "timeout"),
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "hit_rate": (
+            result.cache_hits / len(outcomes) if outcomes else 0.0
+        ),
+        "retries": result.retries,
+        "wall_time": result.wall_time,
+        "job_wall_total": sum(walls),
+        "job_wall_mean": sum(walls) / len(walls) if walls else 0.0,
+        "job_wall_max": max(walls) if walls else 0.0,
+    }
+    return summary
+
+
+def campaign_failure_rows(result) -> list[dict]:
+    """One row per failed/hung job, for reporting."""
+    from repro.harness.campaign import job_label
+
+    return [
+        {
+            "job": job_label(outcome.job),
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "error": outcome.error or "",
+        }
+        for outcome in result.outcomes
+        if not outcome.ok
+    ]
+
+
+def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
+    """Write a campaign's summary + per-job records to *path* as JSON."""
+    path = Path(path)
+    jobs = []
+    for outcome in result.outcomes:
+        record = {
+            "job": repr(outcome.job),
+            "key": outcome.key,
+            "status": outcome.status,
+            "from_cache": outcome.from_cache,
+            "attempts": outcome.attempts,
+            "wall_time": outcome.wall_time,
+            "seed": outcome.seed,
+        }
+        if outcome.error:
+            record["error"] = outcome.error
+        payload = outcome.payload
+        if payload is not None and hasattr(payload, "stats"):
+            record["cycles"] = payload.stats.cycles
+            record["ipc"] = payload.stats.ipc()
+        jobs.append(record)
+    document = {"summary": _jsonable(summarize_campaign(result)),
+                "jobs": _jsonable(jobs)}
+    if extra:
+        document.update(_jsonable(extra))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

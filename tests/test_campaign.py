@@ -1,0 +1,259 @@
+"""Campaign runner: caching, retries, per-job seed determinism."""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.core.config import MMTConfig
+from repro.harness.campaign import (
+    ResultCache,
+    code_fingerprint,
+    derive_seed,
+    job_key,
+    run_campaign,
+)
+from repro.harness.experiment import CampaignJob, clear_cache, run_points
+from repro.harness.results import (
+    campaign_failure_rows,
+    dump_campaign,
+    summarize_campaign,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AddJob:
+    a: int
+    b: int
+
+    def label(self):
+        return f"add({self.a},{self.b})"
+
+
+def add_runner(job, seed):
+    return {"sum": job.a + job.b, "seed": seed}
+
+
+def slow_runner(job, seed):
+    time.sleep(60.0)
+    return None  # pragma: no cover - always killed first
+
+
+def flaky_or_slow_runner(job, seed):
+    if getattr(job, "a", 0) < 0:
+        time.sleep(60.0)
+    return {"sum": job.a + job.b, "seed": seed}
+
+
+def crash_runner(job, seed):
+    raise RuntimeError(f"boom on {job.a}")
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "testfp")
+    import repro.harness.campaign as campaign_mod
+
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    yield ResultCache(tmp_path / "cache")
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+
+
+# ------------------------------------------------------------------ keying
+def test_job_key_is_stable_and_config_sensitive():
+    a = CampaignJob("ammp", MMTConfig.base(), 2)
+    b = CampaignJob("ammp", MMTConfig.base(), 2)
+    c = CampaignJob("ammp", MMTConfig.mmt_fxr(), 2)
+    assert job_key(a) == job_key(b)
+    assert job_key(a) != job_key(c)
+    assert job_key(a) != job_key(a, add_runner)  # runner identity mixed in
+
+
+def test_derive_seed_pure_function():
+    key = job_key(AddJob(1, 2))
+    assert derive_seed(0, key) == derive_seed(0, key)
+    assert derive_seed(0, key) != derive_seed(1, key)
+
+
+# ------------------------------------------------------------------- cache
+def test_second_run_hits_cache_for_identical_jobs(cache):
+    jobs = [AddJob(i, i + 1) for i in range(4)]
+    first = run_campaign(jobs, add_runner, workers=2, cache=cache)
+    assert first.cache_hits == 0 and first.cache_misses == 4
+    assert [o.payload["sum"] for o in first.outcomes] == [1, 3, 5, 7]
+
+    second = run_campaign(jobs, add_runner, workers=2, cache=cache)
+    assert second.cache_hits == 4 and second.cache_misses == 0
+    assert all(o.from_cache for o in second.outcomes)
+    assert [o.payload["sum"] for o in second.outcomes] == [1, 3, 5, 7]
+
+
+def test_changed_job_misses_cache(cache):
+    run_campaign([AddJob(1, 2)], add_runner, workers=1, cache=cache)
+    changed = run_campaign([AddJob(1, 3)], add_runner, workers=1, cache=cache)
+    assert changed.cache_hits == 0 and changed.cache_misses == 1
+
+
+def test_use_cache_false_never_touches_disk(cache):
+    result = run_campaign([AddJob(5, 5)], add_runner, workers=1,
+                          cache=cache, use_cache=False)
+    assert result.cache_hits == result.cache_misses == 0
+    assert job_key(AddJob(5, 5), add_runner) not in cache
+
+
+def test_cache_partitioned_by_code_fingerprint(cache, monkeypatch):
+    import repro.harness.campaign as campaign_mod
+
+    run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "otherfp")
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    rerun = run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
+    assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+
+
+def test_concurrent_stores_of_same_key_never_collide(cache):
+    import threading
+
+    key = job_key(AddJob(9, 9), add_runner)
+    errors = []
+
+    def writer():
+        try:
+            for _ in range(25):
+                cache.store(key, {"sum": 18})
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert cache.load(key) == {"sum": 18}
+    assert not list(cache.path_for(key).parent.glob("*.tmp"))
+
+
+def test_corrupt_cache_entry_is_a_miss(cache):
+    key = job_key(AddJob(2, 2), add_runner)
+    path = cache.store(key, {"sum": 4})
+    path.write_bytes(b"not a pickle")
+    assert cache.load(key) is None
+    assert key not in cache  # corrupt entry removed
+
+
+# ------------------------------------------------------- timeout and retry
+def test_hanging_job_times_out_and_is_reported_not_fatal(cache):
+    jobs = [AddJob(1, 1), AddJob(-1, 0), AddJob(2, 2)]
+    result = run_campaign(jobs, flaky_or_slow_runner, workers=3,
+                          timeout=0.5, retries=1, cache=cache)
+    ok = [o for o in result.outcomes if o.ok]
+    hung = [o for o in result.outcomes if o.status == "timeout"]
+    assert len(ok) == 2 and len(hung) == 1
+    assert hung[0].attempts == 2  # original + one retry
+    assert result.retries == 1
+    assert "timed out" in hung[0].error
+    assert sorted(o.payload["sum"] for o in ok) == [2, 4]
+
+
+def test_crashing_job_reports_error(cache):
+    result = run_campaign([AddJob(7, 0)], crash_runner, workers=1,
+                          retries=0, cache=cache)
+    outcome = result.outcomes[0]
+    assert outcome.status == "failed"
+    assert "boom on 7" in outcome.error
+    assert not result.completed and len(result.failures) == 1
+
+
+def test_zero_jobs_is_a_noop(cache):
+    result = run_campaign([], add_runner, cache=cache)
+    assert result.jobs == 0 and result.summary()["jobs"] == 0
+
+
+# ------------------------------------------------------- seed determinism
+def test_seeds_identical_across_worker_counts(cache):
+    jobs = [AddJob(i, 0) for i in range(6)]
+    serial = run_campaign(jobs, add_runner, workers=1, use_cache=False,
+                          campaign_seed=42)
+    fanned = run_campaign(jobs, add_runner, workers=4, use_cache=False,
+                          campaign_seed=42)
+    assert [o.seed for o in serial.outcomes] == [o.seed for o in fanned.outcomes]
+    # ... and the workers actually received those seeds.
+    assert [o.payload["seed"] for o in serial.outcomes] == \
+        [o.payload["seed"] for o in fanned.outcomes]
+    assert len({o.seed for o in serial.outcomes}) == len(jobs)
+
+
+def test_cached_outcome_keeps_seed(cache):
+    jobs = [AddJob(3, 4)]
+    first = run_campaign(jobs, add_runner, workers=1, cache=cache,
+                         campaign_seed=7)
+    second = run_campaign(jobs, add_runner, workers=1, cache=cache,
+                          campaign_seed=7)
+    assert second.outcomes[0].from_cache
+    assert second.outcomes[0].seed == first.outcomes[0].seed
+
+
+# ------------------------------------------------------------- aggregation
+def test_summarize_and_dump_campaign(cache, tmp_path):
+    jobs = [AddJob(1, 1), AddJob(-1, 0)]
+    result = run_campaign(jobs, flaky_or_slow_runner, workers=2,
+                          timeout=0.4, retries=0, cache=cache)
+    summary = summarize_campaign(result)
+    assert summary["jobs"] == 2
+    assert summary["ok"] == 1
+    assert summary["timeout"] == 1
+    assert summary["cache_misses"] == 2
+    assert summary["job_wall_max"] >= summary["job_wall_mean"] >= 0
+
+    rows = campaign_failure_rows(result)
+    assert len(rows) == 1 and rows[0]["status"] == "timeout"
+
+    out = tmp_path / "campaign.json"
+    dump_campaign(result, out)
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["summary"]["jobs"] == 2
+    assert len(data["jobs"]) == 2
+    statuses = {record["status"] for record in data["jobs"]}
+    assert statuses == {"ok", "timeout"}
+
+
+def test_progress_lines_streamed(cache):
+    lines = []
+    run_campaign([AddJob(1, 2), AddJob(3, 4)], add_runner, workers=2,
+                 cache=cache, progress=lines.append)
+    assert len(lines) == 2
+    assert all("add(" in line for line in lines)
+
+
+# ------------------------------------------------- simulation integration
+def test_run_points_seeds_the_run_app_memo(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    points = [
+        CampaignJob("ammp", MMTConfig.base(), 2, scale=0.15),
+        CampaignJob("ammp", MMTConfig.mmt_fxr(), 2, scale=0.15),
+    ]
+    result = run_points(points, workers=2)
+    assert all(o.ok for o in result.outcomes)
+
+    from repro.harness import experiment
+
+    # run_app must now be served from the in-memory memo, not re-simulated.
+    for point, outcome in zip(points, result.outcomes):
+        assert point.memo_key() in experiment._CACHE
+        memoed = experiment.run_app(point.app, point.config, point.threads,
+                                    scale=point.scale)
+        assert memoed is outcome.payload
+    clear_cache()
+
+
+def test_code_fingerprint_env_override(monkeypatch):
+    import repro.harness.campaign as campaign_mod
+
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "abc123")
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    assert code_fingerprint() == "abc123"
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)

@@ -60,11 +60,82 @@ def test_pipeline_jr_computed_target():
 
 
 def test_pc_out_of_range_raises():
+    from repro.func.executor import ExecutionError
+
     prog = Program([Instruction(Opcode.J, target=0)])
     state = ArchState(prog, AddressSpace())
     state.pc = 5
-    with pytest.raises(Exception):
+    with pytest.raises(ExecutionError):
         FunctionalExecutor(state).step()
+
+
+# --------------------------------------------- uniform invalid-op trapping
+def _run_asm(src):
+    from repro.func.executor import FunctionalExecutor as FE
+
+    prog = assemble(src)
+    state = ArchState(prog, AddressSpace(dict(prog.data)))
+    FE(state).run(max_steps=10_000)
+    return state
+
+
+def _raises_execution_error(src, match):
+    from repro.func.executor import ExecutionError
+
+    with pytest.raises(ExecutionError, match=match):
+        _run_asm(src)
+
+
+def test_integer_division_by_zero_raises_execution_error():
+    _raises_execution_error("li r2, 9\ndiv r1, r2, r0\nhalt",
+                            "division by zero")
+
+
+def test_integer_remainder_by_zero_raises_execution_error():
+    _raises_execution_error("li r2, 9\nrem r1, r2, r0\nhalt",
+                            "remainder by zero")
+
+
+def test_fp_division_by_zero_raises_execution_error():
+    _raises_execution_error("fli f1, 2.0\nfli f2, 0.0\nfdiv f0, f1, f2\nhalt",
+                            "division by zero")
+
+
+def test_fp_sqrt_negative_raises_execution_error():
+    _raises_execution_error("fli f1, -1.0\nfsqrt f0, f1\nhalt",
+                            "square root of negative")
+
+
+def test_unaligned_load_raises_execution_error():
+    _raises_execution_error("li r1, 3\nlw r2, 0(r1)\nhalt", "unaligned load")
+
+
+def test_negative_address_load_raises_execution_error():
+    _raises_execution_error("li r1, -8\nlw r2, 0(r1)\nhalt",
+                            "negative load address")
+
+
+def test_unaligned_store_raises_execution_error():
+    _raises_execution_error("li r1, 5\nli r2, 1\nsw r2, 0(r1)\nhalt",
+                            "unaligned store")
+
+
+def test_negative_address_store_raises_execution_error():
+    _raises_execution_error("li r1, -16\nli r2, 1\nsw r2, 0(r1)\nhalt",
+                            "negative store address")
+
+
+def test_invalid_op_error_is_not_a_bare_value_error():
+    """The uniform trap wraps the underlying cause, it doesn't leak it."""
+    from repro.func.executor import ExecutionError
+
+    try:
+        _run_asm("li r1, 3\nlw r2, 0(r1)\nhalt")
+    except ExecutionError as exc:
+        assert isinstance(exc.__cause__, ValueError)
+        assert "invalid LW at pc" in str(exc)
+    else:  # pragma: no cover - the program must trap
+        raise AssertionError("unaligned load did not trap")
 
 
 def test_single_context_mmt_is_harmless():

@@ -46,9 +46,11 @@ def test_division_semantics_truncate_toward_zero():
     assert reg("li r2, -7\nli r3, 2\nrem r1, r2, r3\nhalt") == -1
 
 
-def test_division_by_zero_yields_zero():
-    assert reg("li r2, 5\ndiv r1, r2, r0\nhalt") == 0
-    assert reg("li r2, 5\nrem r1, r2, r0\nhalt") == 0
+def test_division_by_zero_raises_execution_error():
+    with pytest.raises(ExecutionError, match="division by zero"):
+        reg("li r2, 5\ndiv r1, r2, r0\nhalt")
+    with pytest.raises(ExecutionError, match="remainder by zero"):
+        reg("li r2, 5\nrem r1, r2, r0\nhalt")
 
 
 def test_logic_and_shifts():
@@ -77,12 +79,14 @@ def test_fp_ops():
     assert reg("fli f1, 1.0\nfli f2, 2.0\nfmax f0, f1, f2\nhalt", "f0") == 2.0
 
 
-def test_fp_division_by_zero_yields_zero():
-    assert reg("fli f1, 5.0\nfli f2, 0.0\nfdiv f0, f1, f2\nhalt", "f0") == 0.0
+def test_fp_division_by_zero_raises_execution_error():
+    with pytest.raises(ExecutionError, match="division by zero"):
+        reg("fli f1, 5.0\nfli f2, 0.0\nfdiv f0, f1, f2\nhalt", "f0")
 
 
-def test_fp_sqrt_of_negative_yields_zero():
-    assert reg("fli f1, -4.0\nfsqrt f0, f1\nhalt", "f0") == 0.0
+def test_fp_sqrt_of_negative_raises_execution_error():
+    with pytest.raises(ExecutionError, match="square root of negative"):
+        reg("fli f1, -4.0\nfsqrt f0, f1\nhalt", "f0")
 
 
 def test_conversions_and_fp_compare():

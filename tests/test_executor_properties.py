@@ -1,9 +1,10 @@
 """Property-based checks of the functional executor's arithmetic."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.func.executor import FunctionalExecutor, to_s64
+from repro.func.executor import ExecutionError, FunctionalExecutor, to_s64
 from repro.func.state import ArchState
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -50,12 +51,16 @@ def test_bitwise_ops(a, b):
 
 @given(s64, s64)
 def test_division_identity(a, b):
-    """DIV/REM truncate toward zero and satisfy a = q*b + r (b != 0)."""
-    q = eval_op(Opcode.DIV, a, b)
-    r = eval_op(Opcode.REM, a, b)
+    """DIV/REM truncate toward zero and satisfy a = q*b + r; division by
+    zero is an architectural trap (ExecutionError)."""
     if b == 0:
-        assert q == 0 and r == 0
+        with pytest.raises(ExecutionError):
+            eval_op(Opcode.DIV, a, b)
+        with pytest.raises(ExecutionError):
+            eval_op(Opcode.REM, a, b)
     else:
+        q = eval_op(Opcode.DIV, a, b)
+        r = eval_op(Opcode.REM, a, b)
         assert to_s64(q * b + r) == a
         assert abs(r) < abs(b)
         # Truncation: quotient never exceeds the exact ratio in magnitude.

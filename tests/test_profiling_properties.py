@@ -97,7 +97,9 @@ def test_analysis_is_approximately_symmetric(ops, trips, flags_a, flags_b):
     trace_b = random_trace(ops, trips, flags_b)
     forward = analyze_pair(trace_a, trace_b)
     backward = analyze_pair(trace_b, trace_a)
-    tolerance = max(3, forward.total_pairs_possible // 10)
+    # Loose by design: block-matching tie-breaks can shift a handful of
+    # pairs near gap edges either way, proportionally more on short traces.
+    tolerance = max(8, forward.total_pairs_possible // 8)
     assert abs(
         forward.fetch_identical_pairs - backward.fetch_identical_pairs
     ) <= tolerance
