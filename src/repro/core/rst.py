@@ -156,6 +156,19 @@ class RegisterSharingTable:
                 bits |= 1 << index
         return bits
 
+    def sharing_fraction(self, num_threads: int) -> float:
+        """Fraction of pair bits set among the first *num_threads* threads,
+        across all registers — the interval-metrics 'RST sharing rate'."""
+        if num_threads < 2:
+            return 0.0
+        pair_mask = 0
+        for index, (t, u) in enumerate(PAIRS):
+            if t < num_threads and u < num_threads:
+                pair_mask |= 1 << index
+        total_pairs = bin(pair_mask).count("1") * self.num_regs
+        set_bits = sum(bin(bits & pair_mask).count("1") for bits in self._bits)
+        return set_bits / total_pairs
+
     # ----------------------------------------------------------------- debug
     def entry(self, reg: int) -> int:
         """Raw 6-bit entry for *reg* (tests and debugging)."""

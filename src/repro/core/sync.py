@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from repro.core.fhb import FetchHistoryBuffer
 from repro.core.itid import first_thread, popcount, threads_of
+from repro.obs.events import EventKind
+from repro.obs.observer import NULL_OBS
 
 
 class FetchMode(enum.Enum):
@@ -102,6 +104,9 @@ class SyncController:
         self.num_threads = num_threads
         self.enabled = enabled
         self.max_catchup_branches = max_catchup_branches
+        # Rebound by SMTCore; FSM events use ``obs.now`` on the paths that
+        # carry no cycle argument (taken-branch bookkeeping).
+        self.obs = NULL_OBS
         self._next_gid = 0
         self.fhbs = [FetchHistoryBuffer(fhb_size) for _ in range(num_threads)]
         self.stats = SyncStats()
@@ -199,7 +204,17 @@ class SyncController:
         # pre-divergence path (wrong phase, wrong direction).
         for tid in threads_of(group.mask):
             self.fhbs[tid].clear()
-        return [self._add_group(mask, cycle) for mask in masks_by_pc]
+        subgroups = [self._add_group(mask, cycle) for mask in masks_by_pc]
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.SPLIT,
+                cycle,
+                tid=group.leader,
+                gid=group.gid,
+                mask=group.mask,
+                into=[sub.mask for sub in subgroups],
+            )
+        return subgroups
 
     # --------------------------------------------------------- taken branches
     def on_taken_branch(self, group: ThreadGroup, target_pc: int) -> None:
@@ -219,6 +234,16 @@ class SyncController:
                 del self._catchup_target[group.gid]
                 self._catchup_branches.pop(group.gid, None)
                 self.stats.catchup_false_positives += 1
+                if self.obs.tracing:
+                    self.obs.emit(
+                        EventKind.MODE,
+                        self.obs.now,
+                        tid=group.leader,
+                        pc=target_pc,
+                        gid=group.gid,
+                        transition="catchup_exit",
+                        why="false_positive",
+                    )
             else:
                 budget = self._catchup_branches.get(group.gid, 0) - 1
                 self._catchup_branches[group.gid] = budget
@@ -226,6 +251,16 @@ class SyncController:
                     del self._catchup_target[group.gid]
                     del self._catchup_branches[group.gid]
                     self.stats.catchup_timeouts += 1
+                    if self.obs.tracing:
+                        self.obs.emit(
+                            EventKind.MODE,
+                            self.obs.now,
+                            tid=group.leader,
+                            pc=target_pc,
+                            gid=group.gid,
+                            transition="catchup_exit",
+                            why="timeout",
+                        )
             return
 
         # DETECT: search every other group's FHB for our target.
@@ -240,6 +275,16 @@ class SyncController:
                     self._catchup_target[group.gid] = other.gid
                     self._catchup_branches[group.gid] = self.max_catchup_branches
                     self.stats.catchup_entries += 1
+                    if self.obs.tracing:
+                        self.obs.emit(
+                            EventKind.MODE,
+                            self.obs.now,
+                            tid=group.leader,
+                            pc=target_pc,
+                            gid=group.gid,
+                            transition="catchup_enter",
+                            ahead_gid=other.gid,
+                        )
                 break
 
     def _group_by_gid(self, gid: int) -> ThreadGroup | None:
@@ -290,6 +335,16 @@ class SyncController:
         self._remove_group(b)
         survivor = self._add_group(a.mask | b.mask, cycle)
         survivor.drain_pending = True
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.MERGE,
+                cycle,
+                tid=survivor.leader,
+                gid=survivor.gid,
+                mask=survivor.mask,
+                from_gids=[a.gid, b.gid],
+                branch_distance=distance,
+            )
         # The joint path starts fresh: stale targets in any member's FHB
         # would otherwise trigger spurious catchups after the next split.
         for tid in threads_of(survivor.mask):

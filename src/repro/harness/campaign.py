@@ -139,7 +139,7 @@ class ResultCache:
         return self.root / code_fingerprint() / key[:2] / f"{key}.pkl"
 
     def load(self, key: str):
-        """The cached payload for *key*, or None (corrupt entries are
+        """The cached entry for *key*, or None (corrupt entries are
         treated as misses and removed)."""
         path = self.path_for(key)
         try:
@@ -172,6 +172,32 @@ class ResultCache:
         return self.path_for(key).exists()
 
 
+def _wrap_cache_entry(payload, wall_time: float, max_rss_kb: int) -> dict:
+    """Cache entries carry the run's cost next to its payload, so cache
+    hits can still report wall-clock and peak RSS in campaign summaries."""
+    return {
+        "__campaign__": 1,
+        "payload": payload,
+        "wall_time": wall_time,
+        "max_rss_kb": max_rss_kb,
+    }
+
+
+def _unwrap_cache_entry(entry) -> tuple[object, float, int]:
+    """(payload, wall_time, max_rss_kb) of a cache entry.
+
+    Raw payloads (entries written before cost recording existed, or by
+    hand) pass through with zero cost metadata.
+    """
+    if isinstance(entry, dict) and entry.get("__campaign__") == 1:
+        return (
+            entry["payload"],
+            entry.get("wall_time", 0.0),
+            entry.get("max_rss_kb", 0),
+        )
+    return entry, 0.0, 0
+
+
 # ----------------------------------------------------------------- results
 @dataclass
 class JobOutcome:
@@ -186,6 +212,11 @@ class JobOutcome:
     wall_time: float = 0.0
     from_cache: bool = False
     seed: int = 0
+    #: Worker peak RSS in KB (``ru_maxrss``); for cache hits, the value
+    #: recorded when the entry was produced.
+    max_rss_kb: int = 0
+    #: Flight-recorder dump written by a failed/hung attempt, if any.
+    dump_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -226,17 +257,49 @@ class CampaignResult:
 
 
 # ------------------------------------------------------------------ worker
-def _worker_entry(conn, runner, job, seed) -> None:
-    """Runs in the child process: execute one job, ship the result back."""
+def _max_rss_kb() -> int:
+    """This process's peak RSS in KB (0 where rusage is unavailable)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platform
+        return 0
+
+
+def _worker_entry(conn, runner, job, seed, dump_path=None) -> None:
+    """Runs in the child process: execute one job, ship the result back.
+
+    With *dump_path* set, the path is published to the runner (via
+    ``repro.obs.set_failure_dump_path``) so simulation runners can attach
+    a flight recorder and leave a dump behind when the run dies — and
+    SIGTERM (the parent's timeout kill) is turned into an exception so an
+    externally killed attempt gets the same dump during its grace period.
+    """
+    if dump_path is not None:
+        from repro.obs import set_failure_dump_path
+
+        set_failure_dump_path(dump_path)
+        try:
+            import signal
+
+            def _on_term(signum, frame):
+                raise KeyboardInterrupt("terminated by campaign timeout")
+
+            signal.signal(signal.SIGTERM, _on_term)
+        except Exception:  # pragma: no cover - restricted environment
+            pass
     started = time.perf_counter()
     try:
         payload = runner(job, seed)
-        conn.send((_OK, payload, time.perf_counter() - started))
+        conn.send(
+            (_OK, payload, time.perf_counter() - started, _max_rss_kb())
+        )
     except BaseException as exc:  # noqa: BLE001 - reported, not fatal
         try:
             conn.send(
                 (_FAILED, f"{type(exc).__name__}: {exc}",
-                 time.perf_counter() - started)
+                 time.perf_counter() - started, _max_rss_kb())
             )
         except Exception:
             pass
@@ -248,9 +311,11 @@ class _Running:
     """Bookkeeping for one in-flight attempt."""
 
     __slots__ = ("index", "job", "key", "seed", "attempt", "proc", "conn",
-                 "started")
+                 "started", "dump_path")
 
-    def __init__(self, index, job, key, seed, attempt, proc, conn) -> None:
+    def __init__(
+        self, index, job, key, seed, attempt, proc, conn, dump_path=None
+    ) -> None:
         self.index = index
         self.job = job
         self.key = key
@@ -259,6 +324,7 @@ class _Running:
         self.proc = proc
         self.conn = conn
         self.started = time.perf_counter()
+        self.dump_path = dump_path
 
 
 def _terminate(proc) -> None:
@@ -282,6 +348,7 @@ def run_campaign(
     campaign_seed: int = 0,
     progress=None,
     poll_interval: float = 0.02,
+    failure_dump_dir: str | Path | None = None,
 ) -> CampaignResult:
     """Execute *jobs* through *runner* across worker processes.
 
@@ -298,6 +365,10 @@ def run_campaign(
       lookup and storage.
     * ``progress`` is an optional ``callable(str)`` receiving one line
       per job completion.
+    * ``failure_dump_dir`` enables flight-recorder failure dumps: each
+      worker gets a per-job dump path under the directory, and a failed
+      or hung job whose runner left a dump behind has its
+      :attr:`JobOutcome.dump_path` set to it.
     """
     jobs = list(jobs)
     result = CampaignResult(outcomes=[None] * len(jobs))
@@ -336,9 +407,11 @@ def run_campaign(
         cached = cache.load(key) if cache is not None else None
         if cached is not None:
             result.cache_hits += 1
+            payload, cached_wall, cached_rss = _unwrap_cache_entry(cached)
             finish(index, JobOutcome(
-                job=job, key=key, status=_OK, payload=cached,
-                attempts=0, wall_time=0.0, from_cache=True, seed=seed,
+                job=job, key=key, status=_OK, payload=payload,
+                attempts=0, wall_time=cached_wall, from_cache=True,
+                seed=seed, max_rss_kb=cached_rss,
             ))
         else:
             if cache is not None:
@@ -359,24 +432,33 @@ def run_campaign(
             while pending or running:
                 while pending and len(running) < workers:
                     index, job, key, seed, attempt = pending.popleft()
+                    dump_path = None
+                    if failure_dump_dir is not None:
+                        dump_path = str(
+                            Path(failure_dump_dir) / f"{key[:16]}.flight.json"
+                        )
+                        # A dump left by an earlier attempt must not be
+                        # attributed to this one.
+                        Path(dump_path).unlink(missing_ok=True)
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_worker_entry,
-                        args=(child_conn, runner, job, seed),
+                        args=(child_conn, runner, job, seed, dump_path),
                         daemon=True,
                     )
                     proc.start()
                     child_conn.close()
                     running.append(
                         _Running(index, job, key, seed, attempt, proc,
-                                 parent_conn)
+                                 parent_conn, dump_path)
                     )
                 time.sleep(poll_interval)
                 still: list[_Running] = []
                 for entry in running:
                     status = error = payload = None
+                    rss = 0
                     if entry.conn.poll():
-                        kind, body, _child_wall = entry.conn.recv()
+                        kind, body, _child_wall, rss = entry.conn.recv()
                         entry.proc.join()
                         if kind == _OK:
                             status, payload = _OK, body
@@ -398,11 +480,15 @@ def run_campaign(
                     wall = time.perf_counter() - entry.started
                     if status == _OK:
                         if cache is not None:
-                            cache.store(entry.key, payload)
+                            cache.store(
+                                entry.key,
+                                _wrap_cache_entry(payload, wall, rss),
+                            )
                         finish(entry.index, JobOutcome(
                             job=entry.job, key=entry.key, status=_OK,
                             payload=payload, attempts=entry.attempt,
                             wall_time=wall, seed=entry.seed,
+                            max_rss_kb=rss,
                         ))
                     elif entry.attempt <= retries:
                         result.retries += 1
@@ -414,10 +500,15 @@ def run_campaign(
                              entry.attempt + 1)
                         )
                     else:
+                        dump = None
+                        if (entry.dump_path is not None
+                                and Path(entry.dump_path).exists()):
+                            dump = entry.dump_path
                         finish(entry.index, JobOutcome(
                             job=entry.job, key=entry.key, status=status,
                             error=error, attempts=entry.attempt,
                             wall_time=wall, seed=entry.seed,
+                            max_rss_kb=rss, dump_path=dump,
                         ))
                 running = still
         finally:

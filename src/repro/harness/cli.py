@@ -9,6 +9,8 @@ Usage::
     python -m repro fig5a --workers 8    # parallel prefetch of the runs
     python -m repro campaign --apps ammp mcf --configs Base MMT-FXR \
         --threads 2 4 --workers 8       # batch sweep with result caching
+    python -m repro trace --apps ammp --config MMT-FXR --interval 1000 \
+        --chrome trace.json             # traced run + Perfetto export
 
 Each figure target prints the same report the corresponding benchmark
 emits, but without pytest in the loop — convenient for exploring one
@@ -172,6 +174,70 @@ def _table5(args) -> str:
     )
 
 
+# ------------------------------------------------------------------- trace
+def _trace(args) -> int:
+    """One observed run: interval table, reconciliation, optional exports."""
+    apps = args.apps or experiment.default_apps()
+    app = apps[0]
+    threads = args.threads[0]
+    if args.config not in CONFIG_FACTORIES:
+        known = ", ".join(sorted(CONFIG_FACTORIES))
+        print(f"unknown config {args.config!r}; choose from: {known}")
+        return 2
+    config = CONFIG_FACTORIES[args.config]()
+    run, obs = experiment.trace_run(
+        app, config, threads, scale=args.scale, interval=args.interval
+    )
+    stats = run.stats
+    rows = [
+        {
+            "cycles": f"{s.start_cycle}..{s.end_cycle}",
+            "ipc": s.ipc(),
+            "merge": s.mode_share().get("merge", 0.0),
+            "rob": s.rob_occupancy,
+            "iq": s.iq_occupancy,
+            "lsq": s.lsq_occupancy,
+            "mshr": s.mshr_outstanding,
+            "fhb_hit": s.fhb_hit_rate(),
+            "rst": s.rst_sharing,
+        }
+        for s in obs.interval.samples
+    ]
+    print(report.format_table(
+        rows,
+        columns=["cycles", "ipc", "merge", "rob", "iq", "lsq", "mshr",
+                 "fhb_hit", "rst"],
+        title=(f"Trace — {app}/{config.name}/{threads}t, "
+               f"interval {args.interval} cycles"),
+    ))
+    counts = obs.sink.counts()
+    print(report.format_pairs(
+        sorted(counts.items()),
+        title=f"Events ({sum(counts.values())} total)",
+    ))
+    mismatches = obs.interval.reconcile(stats)
+    if mismatches:
+        print("RECONCILIATION FAILED:")
+        for line in mismatches:
+            print(f"  {line}")
+    else:
+        print(f"\nfinal: {stats.cycles} cycles, IPC {stats.ipc():.3f} — "
+              "interval sums reconcile exactly with final stats")
+    if args.json:
+        results.dump_trace(run, obs, args.json, extra={"scale": args.scale})
+        print(f"[trace time series written to {args.json}]")
+    if args.chrome:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.chrome, obs.sink.events, obs.interval.samples,
+            metadata={"app": app, "config": config.name,
+                      "threads": threads},
+        )
+        print(f"[Chrome trace for Perfetto written to {args.chrome}]")
+    return 0 if not mismatches else 1
+
+
 # ---------------------------------------------------------------- campaign
 def _hang_forever() -> None:  # pragma: no cover - killed by the timeout
     while True:
@@ -180,11 +246,12 @@ def _hang_forever() -> None:  # pragma: no cover - killed by the timeout
 
 def demo_runner(job, seed):
     """Campaign runner used by ``repro campaign``: simulates the job,
-    except for jobs tagged ``inject-hang`` (the ``--inject-hang`` fault-
-    injection demo), which hang until the per-job timeout kills them."""
+    honouring fault-injection tags — ``inject-hang`` (the ``--inject-hang``
+    demo) hangs until the per-job timeout kills it, ``livelock`` (the
+    ``--inject-livelock`` demo) wedges fetch so the watchdog fires."""
     if getattr(job, "tag", "") == "inject-hang":
         _hang_forever()
-    return experiment.simulate_job(job, seed)
+    return experiment.simulate_job_faulty(job, seed)
 
 
 def _campaign(args) -> int:
@@ -209,6 +276,12 @@ def _campaign(args) -> int:
                                    args.threads[0], scale=args.scale,
                                    tag="inject-hang")
         )
+    if args.inject_livelock:
+        jobs.append(
+            experiment.CampaignJob(apps[0], MMTConfig.base(),
+                                   args.threads[0], scale=args.scale,
+                                   tag="livelock")
+        )
     result = run_campaign(
         jobs,
         demo_runner,
@@ -219,6 +292,7 @@ def _campaign(args) -> int:
         use_cache=not args.no_cache,
         campaign_seed=args.seed,
         progress=print,
+        failure_dump_dir=args.dump_dir or None,
     )
     rows = []
     for outcome in result.outcomes:
@@ -230,6 +304,9 @@ def _campaign(args) -> int:
             "status": outcome.status,
             "source": "cache" if outcome.from_cache else "run",
             "wall_s": outcome.wall_time,
+            "rss_mb": (
+                outcome.max_rss_kb / 1024 if outcome.max_rss_kb else "-"
+            ),
             "cycles": outcome.payload.stats.cycles if outcome.ok else "-",
             "ipc": outcome.payload.stats.ipc() if outcome.ok else "-",
         }
@@ -237,7 +314,7 @@ def _campaign(args) -> int:
     print(report.format_table(
         rows,
         columns=["app", "config", "threads", "status", "source", "wall_s",
-                 "cycles", "ipc"],
+                 "rss_mb", "cycles", "ipc"],
         title=f"Campaign — {len(jobs)} jobs",
     ))
     summary = results.summarize_campaign(result)
@@ -250,7 +327,7 @@ def _campaign(args) -> int:
     if failures:
         print(report.format_table(
             failures,
-            columns=["job", "status", "attempts", "error"],
+            columns=["job", "status", "attempts", "error", "dump"],
             title="Failed jobs (reported, not fatal)",
         ))
     if args.json:
@@ -304,9 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list", "campaign"],
+        choices=sorted(TARGETS) + ["list", "campaign", "trace"],
         help="which table/figure to regenerate ('list' to enumerate; "
-        "'campaign' runs a parallel batch sweep)",
+        "'campaign' runs a parallel batch sweep; 'trace' runs one point "
+        "with event tracing and interval metrics)",
     )
     parser.add_argument(
         "--scale",
@@ -384,6 +462,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append one deliberately hanging job (timeout/retry demo)",
     )
+    campaign.add_argument(
+        "--inject-livelock",
+        action="store_true",
+        help="append one livelocked job (watchdog + flight-dump demo)",
+    )
+    campaign.add_argument(
+        "--dump-dir",
+        default=".repro-flight",
+        metavar="DIR",
+        help="directory for flight-recorder dumps of failed/hung jobs "
+        "(default .repro-flight; pass '' to disable)",
+    )
+    trace = parser.add_argument_group("trace target")
+    trace.add_argument(
+        "--config",
+        default="MMT-FXR",
+        help="configuration for the traced run (default MMT-FXR)",
+    )
+    trace.add_argument(
+        "--interval",
+        type=int,
+        default=1000,
+        help="interval-metrics sampling period in cycles (default 1000)",
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON (Perfetto-loadable) to PATH",
+    )
     return parser
 
 
@@ -395,9 +503,13 @@ def main(argv=None) -> int:
             print(f"{name.ljust(width)}  {TARGETS[name][1]}")
         print(f"{'campaign'.ljust(width)}  parallel batch sweep with "
               "result caching")
+        print(f"{'trace'.ljust(width)}  one observed run: events, interval "
+              "metrics, Perfetto export")
         return 0
     if args.target == "campaign":
         return _campaign(args)
+    if args.target == "trace":
+        return _trace(args)
     if args.workers:
         figures.prefetch_figure(
             args.target, apps=args.apps, scale=args.scale,

@@ -22,6 +22,17 @@ from repro.harness.campaign import (
     CampaignResult,
     run_campaign,
 )
+from repro.obs import (
+    DEFAULT_WATCHDOG_CYCLES,
+    FlightRecorder,
+    IntervalMetrics,
+    MemorySink,
+    Observer,
+    WatchdogError,
+    campaign_observer,
+    get_failure_dump_path,
+    write_dump,
+)
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.smt import SMTCore
 from repro.pipeline.stats import SimStats
@@ -103,12 +114,39 @@ def _simulate(
     machine: MachineConfig,
     scale: float,
     strict: bool,
+    obs: Observer | None = None,
+    failure_dump: str | None = None,
+    prepare=None,
 ) -> RunResult:
-    """Run one simulation point (no caching at this level)."""
+    """Run one simulation point (no caching at this level).
+
+    With *failure_dump* set (and an observer carrying a flight recorder),
+    any exception escaping the run — watchdog, invariant violation, even
+    the SIGTERM-turned-exception of a campaign timeout kill — leaves a
+    flight-recorder dump at that path before propagating.  *prepare*, when
+    given, is called with the constructed core before it runs (fault
+    injection for tests and demos).
+    """
     build = build_workload(get_profile(app), threads, scale=scale)
     job = build.limit_job() if config.limit_identical else build.job()
-    core = SMTCore(machine, config, job, strict=strict)
-    stats = core.run()
+    core = SMTCore(machine, config, job, strict=strict, obs=obs)
+    if prepare is not None:
+        prepare(core)
+    try:
+        stats = core.run()
+    except BaseException as exc:
+        if failure_dump and obs is not None and obs.recorder is not None:
+            if isinstance(exc, WatchdogError) and exc.dump is not None:
+                document = exc.dump
+            else:
+                document = obs.recorder.dump(
+                    core, error=f"{type(exc).__name__}: {exc}"
+                )
+            try:
+                write_dump(document, failure_dump)
+            except Exception:  # pragma: no cover - dump must not mask exc
+                pass
+        raise
     return RunResult(
         app=app,
         config=config,
@@ -152,9 +190,65 @@ def simulate_job(job: CampaignJob, seed: int) -> RunResult:
     """
     del seed
     machine = _normalize_machine(job.machine, job.threads)
+    dump_path = get_failure_dump_path()
+    obs = campaign_observer() if dump_path else None
     return _simulate(
-        job.app, job.config, job.threads, machine, job.scale, job.strict
+        job.app, job.config, job.threads, machine, job.scale, job.strict,
+        obs=obs, failure_dump=dump_path,
     )
+
+
+def _wedge_fetch(core) -> None:
+    """Stall every context's fetch forever: an injected livelock."""
+    core.fetch_stall_until = [core.config.max_cycles + 1] * core.num_threads
+
+
+def simulate_job_faulty(job: CampaignJob, seed: int) -> RunResult:
+    """Campaign runner honouring fault-injection tags (CLI demo, tests).
+
+    ``tag="livelock"`` wedges every context's fetch before running: with
+    failure dumps enabled the no-forward-progress watchdog fires (after a
+    deliberately short fuse, so demos stay fast) and leaves a flight dump;
+    any other tag behaves like :func:`simulate_job`.
+    """
+    del seed
+    machine = _normalize_machine(job.machine, job.threads)
+    dump_path = get_failure_dump_path()
+    obs = (
+        campaign_observer(watchdog_cycles=5_000) if dump_path else None
+    )
+    prepare = _wedge_fetch if job.tag == "livelock" else None
+    return _simulate(
+        job.app, job.config, job.threads, machine, job.scale, job.strict,
+        obs=obs, failure_dump=dump_path, prepare=prepare,
+    )
+
+
+def trace_run(
+    app: str,
+    config: MMTConfig,
+    threads: int,
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    interval: int = 1000,
+    sink_capacity: int | None = None,
+    strict: bool = True,
+) -> tuple[RunResult, Observer]:
+    """Run one point with full observability attached (``repro trace``).
+
+    Returns the run result plus the observer holding the collected events
+    (``obs.sink``), the interval time series (``obs.interval``), and the
+    flight recorder.
+    """
+    machine = _normalize_machine(machine, threads)
+    obs = Observer(
+        sink=MemorySink(sink_capacity),
+        interval=IntervalMetrics(interval),
+        recorder=FlightRecorder(),
+        watchdog_cycles=DEFAULT_WATCHDOG_CYCLES,
+    )
+    result = _simulate(app, config, threads, machine, scale, strict, obs=obs)
+    return result, obs
 
 
 def run_points(
@@ -167,6 +261,7 @@ def run_points(
     use_cache: bool = True,
     campaign_seed: int = 0,
     progress=None,
+    failure_dump_dir=None,
 ) -> CampaignResult:
     """Run many simulation points in parallel and seed the in-memory memo.
 
@@ -190,6 +285,7 @@ def run_points(
         use_cache=use_cache,
         campaign_seed=campaign_seed,
         progress=progress,
+        failure_dump_dir=failure_dump_dir,
     )
     for outcome in result.outcomes:
         if outcome.ok:

@@ -65,6 +65,7 @@ def summarize_campaign(result) -> dict:
     executed = [o for o in outcomes if not o.from_cache]
     # Failed/hung attempts cost wall time too — count them.
     walls = [o.wall_time for o in executed]
+    rss = [o.max_rss_kb for o in outcomes if o.max_rss_kb > 0]
     summary = {
         "jobs": len(outcomes),
         "ok": sum(1 for o in outcomes if o.ok),
@@ -80,6 +81,10 @@ def summarize_campaign(result) -> dict:
         "job_wall_total": sum(walls),
         "job_wall_mean": sum(walls) / len(walls) if walls else 0.0,
         "job_wall_max": max(walls) if walls else 0.0,
+        # Peak worker RSS in KB (cache hits report the value recorded
+        # when their entry was produced; zeros are "not measured").
+        "job_rss_max_kb": max(rss) if rss else 0,
+        "job_rss_mean_kb": sum(rss) / len(rss) if rss else 0.0,
     }
     return summary
 
@@ -94,6 +99,7 @@ def campaign_failure_rows(result) -> list[dict]:
             "status": outcome.status,
             "attempts": outcome.attempts,
             "error": outcome.error or "",
+            "dump": outcome.dump_path or "",
         }
         for outcome in result.outcomes
         if not outcome.ok
@@ -112,10 +118,13 @@ def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
             "from_cache": outcome.from_cache,
             "attempts": outcome.attempts,
             "wall_time": outcome.wall_time,
+            "max_rss_kb": outcome.max_rss_kb,
             "seed": outcome.seed,
         }
         if outcome.error:
             record["error"] = outcome.error
+        if outcome.dump_path:
+            record["dump"] = outcome.dump_path
         payload = outcome.payload
         if payload is not None and hasattr(payload, "stats"):
             record["cycles"] = payload.stats.cycles
@@ -127,4 +136,38 @@ def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
         document.update(_jsonable(extra))
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------- traces
+def dump_trace(
+    run,
+    observer,
+    path: str | Path,
+    extra: dict | None = None,
+) -> Path:
+    """Write a ``repro trace`` run — final stats plus the interval time
+    series and event tally — to *path* as JSON."""
+    path = Path(path)
+    stats = run.stats
+    document = {
+        "app": run.app,
+        "config": run.config.name,
+        "threads": run.threads,
+        "cycles": stats.cycles,
+        "ipc": stats.ipc(),
+        "mode_breakdown": stats.mode_breakdown(),
+        "event_counts": (
+            observer.sink.counts() if observer.sink is not None else {}
+        ),
+        "intervals": (
+            observer.interval.rows() if observer.interval is not None else []
+        ),
+    }
+    if extra:
+        document.update(_jsonable(extra))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(_jsonable(document), indent=2, sort_keys=True) + "\n"
+    )
     return path

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from repro.isa.program import INST_BYTES
 from repro.mem.cache import Cache
 from repro.mem.mshr import MSHRFile
+from repro.obs.events import EventKind
+from repro.obs.observer import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -71,6 +73,9 @@ class MemoryHierarchy:
         self.l2 = Cache("L2", cfg.l2_size, cfg.l2_assoc, cfg.line_bytes)
         self.mshr = MSHRFile(cfg.mshr_entries)
         self.dram_accesses = 0
+        # Rebound by SMTCore once caches are warm; events use ``obs.now``
+        # because the I-side path has no cycle argument.
+        self.obs = NULL_OBS
 
     # ----------------------------------------------------------- instruction
     def fetch_latency(self, pc: int) -> int:
@@ -86,8 +91,18 @@ class MemoryHierarchy:
         if self.l1i.access(key):
             return cfg.l1_latency
         if self.l2.access(key):
+            if self.obs.tracing:
+                self.obs.emit(
+                    EventKind.CACHE_MISS, self.obs.now,
+                    pc=pc, side="i", filled_from="l2",
+                )
             return cfg.l1_latency + cfg.l2_latency
         self.dram_accesses += 1
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.CACHE_MISS, self.obs.now,
+                pc=pc, side="i", filled_from="dram",
+            )
         return cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
 
     # ------------------------------------------------------------------ data
@@ -108,11 +123,30 @@ class MemoryHierarchy:
         # L1 miss: needs (or merges into) an MSHR entry.
         if self.l2.lookup(key):
             latency = cfg.l1_latency + cfg.l2_latency
+            filled_from = "l2"
         else:
             latency = cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
+            filled_from = "dram"
+        tracing = self.obs.tracing
+        merged = tracing and self.mshr.lookup(key) is not None
         ready = self.mshr.request(key, now, latency)
         if ready is None:
+            if tracing:
+                self.obs.emit(
+                    EventKind.MSHR_FULL, now,
+                    addr=addr, asid=asid, write=is_write,
+                )
             return None
+        if tracing:
+            self.obs.emit(
+                EventKind.CACHE_MISS, now,
+                addr=addr, asid=asid, side="d", write=is_write,
+                filled_from=filled_from,
+            )
+            self.obs.emit(
+                EventKind.MSHR_ALLOC, now,
+                line=key, merged=merged, ready=ready,
+            )
         # Commit the state change only once the request is accepted.
         self.l1d.access(key, is_write)
         if not self.l2.access(key, False):
@@ -121,7 +155,10 @@ class MemoryHierarchy:
 
     def tick(self, now: int) -> None:
         """Advance time-dependent structures (MSHR retirement)."""
-        self.mshr.tick(now)
+        retired = self.mshr.tick(now)
+        if retired and self.obs.tracing:
+            for key in retired:
+                self.obs.emit(EventKind.MEM_FILL, now, line=key)
 
     def event_counts(self) -> MemoryEventCounts:
         """Snapshot of activity counters for the energy model."""

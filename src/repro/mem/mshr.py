@@ -50,10 +50,11 @@ class MSHRFile:
         self.allocations += 1
         return ready
 
-    def tick(self, now: int) -> None:
-        """Retire entries whose fills have completed."""
+    def tick(self, now: int) -> list[int]:
+        """Retire entries whose fills have completed; returns their keys."""
         if not self._entries:
-            return
+            return []
         done = [key for key, ready in self._entries.items() if ready <= now]
         for key in done:
             del self._entries[key]
+        return done

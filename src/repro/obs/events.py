@@ -1,0 +1,90 @@
+"""Typed cycle-level trace events.
+
+Every observable action in the simulator maps to one :class:`EventKind`;
+an emitted :class:`TraceEvent` carries the cycle it happened in, the most
+useful scalar coordinates (thread, PC, fetch sequence number), and a small
+free-form payload for kind-specific detail.  Events are deliberately tiny
+— the flight recorder keeps thousands of them in a ring buffer and the
+Chrome exporter serialises them one-to-one — and are only ever constructed
+when a sink or recorder is attached, so the disabled simulator pays
+nothing for them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.Enum):
+    """Taxonomy of traced simulator events."""
+
+    # Front end.
+    FETCH = "fetch"  # one fetch session of one thread group
+    MODE = "mode"  # sync FSM transition (catchup enter/exit)
+    MERGE = "merge"  # two groups remerged at equal PCs
+    SPLIT = "split"  # a group split on a control divergence
+    MISPREDICT = "mispredict"  # control resolved against the prediction
+    HINT = "hint"  # software remerge hint park/release
+
+    # Mid pipeline.
+    RENAME_STALL = "rename_stall"  # dispatch blocked, with the resource
+    ISSUE = "issue"  # instruction sent to a functional unit
+    COMMIT = "commit"  # instruction retired for all owners
+    SQUASH = "squash"  # thread-selective rollback (LVIP)
+
+    # Memory system.
+    CACHE_MISS = "cache_miss"  # L1 miss (instruction or data side)
+    MSHR_ALLOC = "mshr_alloc"  # new outstanding-miss entry allocated
+    MSHR_FULL = "mshr_full"  # request bounced off a full MSHR file
+    MEM_FILL = "mem_fill"  # outstanding miss completed (L2/DRAM return)
+    STORE_FORWARD = "store_forward"  # load served by an older store
+
+    # Meta.
+    WATCHDOG = "watchdog"  # no-forward-progress watchdog fired
+
+
+class TraceEvent:
+    """One traced occurrence.
+
+    ``tid`` is the acting hardware thread (a group's leader for group-level
+    events) or -1; ``pc`` and ``seq`` are -1 when not meaningful for the
+    kind.  ``data`` holds kind-specific extras (masks, reasons, latencies).
+    """
+
+    __slots__ = ("cycle", "kind", "tid", "pc", "seq", "data")
+
+    def __init__(
+        self,
+        cycle: int,
+        kind: EventKind,
+        tid: int = -1,
+        pc: int = -1,
+        seq: int = -1,
+        data: dict | None = None,
+    ) -> None:
+        self.cycle = cycle
+        self.kind = kind
+        self.tid = tid
+        self.pc = pc
+        self.seq = seq
+        self.data = data
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by dumps and the exporter)."""
+        record = {"cycle": self.cycle, "kind": self.kind.value}
+        if self.tid >= 0:
+            record["tid"] = self.tid
+        if self.pc >= 0:
+            record["pc"] = self.pc
+        if self.seq >= 0:
+            record["seq"] = self.seq
+        if self.data:
+            record.update(self.data)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" {self.data}" if self.data else ""
+        return (
+            f"<{self.kind.value}@{self.cycle} tid={self.tid} pc={self.pc} "
+            f"seq={self.seq}{extra}>"
+        )

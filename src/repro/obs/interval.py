@@ -1,0 +1,215 @@
+"""Interval metrics: periodic snapshots of rates and occupancies.
+
+Every ``interval`` cycles (and once more at the end of the run, for the
+final partial interval) the collector records the *delta* of the
+interesting :class:`~repro.pipeline.stats.SimStats` counters over the
+interval plus instantaneous structure occupancies.  Because samples store
+deltas, their sums reconcile exactly with the run's final counters —
+``IntervalMetrics.totals()`` returns those sums and the test suite holds
+the simulator to the exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IntervalSample:
+    """One interval's deltas plus end-of-interval occupancies."""
+
+    start_cycle: int
+    end_cycle: int
+    # Counter deltas over [start_cycle, end_cycle].
+    committed_thread_insts: int
+    committed_entries: int
+    fetched_thread_insts: int
+    fetched_entries: int
+    fetch_sessions: int
+    fetched_by_mode: dict[str, int]
+    branches_fetched: int
+    branch_mispredicts: int
+    fhb_searches: int
+    fhb_hits: int
+    # Instantaneous occupancies at end_cycle.
+    rob_occupancy: int
+    iq_occupancy: int
+    lsq_occupancy: int
+    decode_occupancy: int
+    mshr_outstanding: int
+    # Structural rates at end_cycle.
+    rst_sharing: float
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def ipc(self) -> float:
+        """Committed thread-instructions per cycle over the interval."""
+        if not self.cycles:
+            return 0.0
+        return self.committed_thread_insts / self.cycles
+
+    def fhb_hit_rate(self) -> float:
+        """FHB CAM-search hit rate over the interval."""
+        if not self.fhb_searches:
+            return 0.0
+        return self.fhb_hits / self.fhb_searches
+
+    def mode_share(self) -> dict[str, float]:
+        """Per-mode share of thread-instructions fetched this interval."""
+        total = sum(self.fetched_by_mode.values())
+        if not total:
+            return {mode: 0.0 for mode in self.fetched_by_mode}
+        return {
+            mode: count / total for mode, count in self.fetched_by_mode.items()
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready row for the results time series."""
+        return {
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "ipc": self.ipc(),
+            "committed_thread_insts": self.committed_thread_insts,
+            "committed_entries": self.committed_entries,
+            "fetched_thread_insts": self.fetched_thread_insts,
+            "fetched_entries": self.fetched_entries,
+            "fetch_sessions": self.fetch_sessions,
+            "fetched_by_mode": dict(self.fetched_by_mode),
+            "branches_fetched": self.branches_fetched,
+            "branch_mispredicts": self.branch_mispredicts,
+            "fhb_searches": self.fhb_searches,
+            "fhb_hits": self.fhb_hits,
+            "fhb_hit_rate": self.fhb_hit_rate(),
+            "rob_occupancy": self.rob_occupancy,
+            "iq_occupancy": self.iq_occupancy,
+            "lsq_occupancy": self.lsq_occupancy,
+            "decode_occupancy": self.decode_occupancy,
+            "mshr_outstanding": self.mshr_outstanding,
+            "rst_sharing": self.rst_sharing,
+        }
+
+
+#: SimStats counters sampled as plain interval deltas.
+_DELTA_FIELDS = (
+    "committed_thread_insts",
+    "committed_entries",
+    "fetched_thread_insts",
+    "fetched_entries",
+    "fetch_sessions",
+    "branches_fetched",
+    "branch_mispredicts",
+)
+
+
+class IntervalMetrics:
+    """Collects :class:`IntervalSample` rows every *interval* cycles."""
+
+    def __init__(self, interval: int = 1000) -> None:
+        if interval < 1:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.samples: list[IntervalSample] = []
+        self.next_cycle = interval
+        self._last_cycle = 0
+        self._last: dict[str, int] | None = None
+
+    # ----------------------------------------------------------- sampling
+    def _snapshot(self, core) -> dict[str, int]:
+        stats = core.stats
+        snap = {name: getattr(stats, name) for name in _DELTA_FIELDS}
+        for mode, count in stats.fetched_by_mode.items():
+            snap[f"mode:{mode.value}"] = count
+        searches = hits = 0
+        for fhb in core.sync.fhbs:
+            searches += fhb.searches
+            hits += fhb.search_hits
+        snap["fhb_searches"] = searches
+        snap["fhb_hits"] = hits
+        return snap
+
+    def sample(self, core) -> IntervalSample:
+        """Record one interval ending at the core's current cycle."""
+        snap = self._snapshot(core)
+        last = self._last or dict.fromkeys(snap, 0)
+        delta = {key: snap[key] - last[key] for key in snap}
+        row = IntervalSample(
+            start_cycle=self._last_cycle,
+            end_cycle=core.cycle,
+            committed_thread_insts=delta["committed_thread_insts"],
+            committed_entries=delta["committed_entries"],
+            fetched_thread_insts=delta["fetched_thread_insts"],
+            fetched_entries=delta["fetched_entries"],
+            fetch_sessions=delta["fetch_sessions"],
+            fetched_by_mode={
+                key[len("mode:"):]: value
+                for key, value in delta.items()
+                if key.startswith("mode:")
+            },
+            branches_fetched=delta["branches_fetched"],
+            branch_mispredicts=delta["branch_mispredicts"],
+            fhb_searches=delta["fhb_searches"],
+            fhb_hits=delta["fhb_hits"],
+            rob_occupancy=len(core.rob),
+            iq_occupancy=len(core.iq),
+            lsq_occupancy=len(core.lsq),
+            decode_occupancy=len(core.decode_buffer),
+            mshr_outstanding=core.hierarchy.mshr.outstanding(),
+            rst_sharing=core.rst.sharing_fraction(core.num_threads),
+        )
+        self.samples.append(row)
+        self._last = snap
+        self._last_cycle = core.cycle
+        self.next_cycle = (core.cycle // self.interval + 1) * self.interval
+        return row
+
+    def flush(self, core) -> None:
+        """Close out the final partial interval (end of run)."""
+        if core.cycle > self._last_cycle:
+            self.sample(core)
+
+    # ------------------------------------------------------ reconciliation
+    def totals(self) -> dict:
+        """Sum of every per-interval delta, for reconciliation.
+
+        After :meth:`flush`, these sums equal the run's final SimStats
+        counters exactly — any mismatch means a sample was skipped or a
+        counter was rewound mid-run.
+        """
+        totals = {name: 0 for name in _DELTA_FIELDS}
+        totals["fetched_by_mode"] = {}
+        totals["fhb_searches"] = 0
+        totals["fhb_hits"] = 0
+        for row in self.samples:
+            for name in _DELTA_FIELDS:
+                totals[name] += getattr(row, name)
+            for mode, count in row.fetched_by_mode.items():
+                totals["fetched_by_mode"][mode] = (
+                    totals["fetched_by_mode"].get(mode, 0) + count
+                )
+            totals["fhb_searches"] += row.fhb_searches
+            totals["fhb_hits"] += row.fhb_hits
+        return totals
+
+    def reconcile(self, stats) -> list[str]:
+        """Compare :meth:`totals` against final *stats*; returns mismatches."""
+        totals = self.totals()
+        problems = []
+        for name in _DELTA_FIELDS:
+            want = getattr(stats, name)
+            got = totals[name]
+            if got != want:
+                problems.append(f"{name}: intervals sum {got} != final {want}")
+        for mode, want in stats.fetched_by_mode.items():
+            got = totals["fetched_by_mode"].get(mode.value, 0)
+            if got != want:
+                problems.append(
+                    f"fetched_by_mode[{mode.value}]: intervals sum {got} != "
+                    f"final {want}"
+                )
+        return problems
+
+    def rows(self) -> list[dict]:
+        """The time series as JSON-ready rows."""
+        return [sample.as_dict() for sample in self.samples]

@@ -1,0 +1,129 @@
+"""The observability hub threaded through :class:`~repro.pipeline.smt.SMTCore`.
+
+An :class:`Observer` bundles up to three optional consumers — an event
+sink, an interval-metrics collector, and a flight recorder — plus the
+no-forward-progress watchdog.  The simulator holds exactly one observer
+(the shared :data:`NULL_OBS` when none was requested) and guards every
+emission site with the precomputed ``tracing`` flag, so a disabled
+observer costs one attribute read and branch per site and never
+constructs an event object.
+
+Lifecycle hooks (called by the core only when ``active``):
+
+* ``begin_cycle(cycle)`` — stamps ``now`` so components without a cycle
+  argument (sync controller, I-side hierarchy path) can timestamp events;
+* ``end_cycle(core)`` — interval sampling and the watchdog check;
+* ``finalize(core)`` — closes the last partial interval at end of run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.recorder import (
+    DEFAULT_WATCHDOG_CYCLES,
+    FlightRecorder,
+    WatchdogError,
+)
+
+
+class Observer:
+    """Routes simulator events to a sink, a recorder, and interval metrics."""
+
+    __slots__ = (
+        "sink",
+        "interval",
+        "recorder",
+        "watchdog_cycles",
+        "tracing",
+        "active",
+        "now",
+        "_progress_cycle",
+        "_progress_value",
+    )
+
+    def __init__(
+        self,
+        sink=None,
+        interval=None,
+        recorder: FlightRecorder | None = None,
+        watchdog_cycles: int | None = None,
+    ) -> None:
+        self.sink = sink
+        self.interval = interval
+        self.recorder = recorder
+        self.watchdog_cycles = watchdog_cycles
+        #: True when emission sites must construct events.
+        self.tracing = sink is not None or recorder is not None
+        #: True when the core must run the per-cycle hooks.
+        self.active = (
+            self.tracing or interval is not None or watchdog_cycles is not None
+        )
+        self.now = 0
+        self._progress_cycle = 0
+        self._progress_value = -1
+
+    # ------------------------------------------------------------- emission
+    def emit(
+        self,
+        kind: EventKind,
+        cycle: int,
+        tid: int = -1,
+        pc: int = -1,
+        seq: int = -1,
+        **data,
+    ) -> None:
+        """Record one event (callers must already have checked ``tracing``)."""
+        event = TraceEvent(cycle, kind, tid, pc, seq, data or None)
+        if self.sink is not None:
+            self.sink.emit(event)
+        if self.recorder is not None:
+            self.recorder.push(event)
+
+    # ------------------------------------------------------------ lifecycle
+    def begin_cycle(self, cycle: int) -> None:
+        self.now = cycle
+
+    def end_cycle(self, core) -> None:
+        interval = self.interval
+        if interval is not None and core.cycle >= interval.next_cycle:
+            interval.sample(core)
+        watchdog = self.watchdog_cycles
+        if watchdog is not None:
+            progress = core.stats.committed_thread_insts
+            if progress != self._progress_value:
+                self._progress_value = progress
+                self._progress_cycle = core.cycle
+            elif core.cycle - self._progress_cycle >= watchdog:
+                self._fire_watchdog(core, watchdog)
+
+    def _fire_watchdog(self, core, watchdog: int) -> None:
+        message = (
+            f"no instruction committed in {watchdog} cycles "
+            f"(cycle {core.cycle}, {self._progress_value} thread-insts "
+            f"committed so far): deadlock or livelock"
+        )
+        if self.tracing:
+            self.emit(EventKind.WATCHDOG, core.cycle, stalled_cycles=watchdog)
+        dump = None
+        if self.recorder is not None:
+            dump = self.recorder.dump(core, error=message)
+        raise WatchdogError(message, dump)
+
+    def finalize(self, core) -> None:
+        if self.interval is not None:
+            self.interval.flush(core)
+
+
+#: Shared inert observer: ``active`` and ``tracing`` are False, so cores
+#: constructed without observability never call into it.
+NULL_OBS = Observer()
+
+
+def campaign_observer(
+    capacity: int = 2048, watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES
+) -> Observer:
+    """The observer campaign workers attach when failure dumps are enabled:
+    a flight recorder plus the livelock watchdog, no full event sink."""
+    return Observer(
+        recorder=FlightRecorder(capacity), watchdog_cycles=watchdog_cycles
+    )

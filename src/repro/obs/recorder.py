@@ -1,0 +1,140 @@
+"""Flight recorder: a bounded ring of recent events plus state dumps.
+
+The recorder keeps the last N emitted events.  When a run dies — the
+no-forward-progress watchdog, a :class:`SimulationInvariantError`, an
+:class:`ExecutionError` trap, or an external kill — :meth:`dump` freezes
+the ring together with the machine's architectural snapshot (per-stage
+occupancy, thread/group state, in-flight instructions) into one JSON-able
+document, so a hung campaign job becomes a diagnosable artifact instead of
+a bare timeout.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.obs.events import TraceEvent
+
+#: Cycles without a single committed thread-instruction before the
+#: watchdog declares a livelock.  The longest legitimate commit gap is a
+#: dependent chain of DRAM misses (hundreds of cycles); four orders of
+#: magnitude above that is unambiguous.
+DEFAULT_WATCHDOG_CYCLES = 50_000
+
+
+class WatchdogError(RuntimeError):
+    """The simulation stopped making forward progress.
+
+    ``dump`` carries the flight-recorder document captured at the moment
+    the watchdog fired (None when no recorder was attached).
+    """
+
+    def __init__(self, message: str, dump: dict | None = None) -> None:
+        super().__init__(message)
+        self.dump = dump
+
+
+class FlightRecorder:
+    """Ring buffer of the most recent :class:`TraceEvent` objects."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.pushed = 0
+
+    def push(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        self.pushed += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ----------------------------------------------------------------- dump
+    def dump(self, core, error: str | None = None) -> dict:
+        """Freeze the ring plus *core*'s state into a JSON-able document."""
+        document = core_snapshot(core)
+        document["error"] = error
+        document["events_recorded"] = self.pushed
+        document["events_kept"] = len(self.events)
+        document["events"] = [event.as_dict() for event in self.events]
+        return document
+
+
+def core_snapshot(core) -> dict:
+    """Architectural snapshot of a (possibly wedged) SMTCore."""
+    threads = []
+    for tid in range(core.num_threads):
+        waiting = core.stalled_on_branch[tid]
+        threads.append(
+            {
+                "tid": tid,
+                "icount": core.icount[tid],
+                "fetch_stall_until": core.fetch_stall_until[tid],
+                "stalled_on_branch_seq": None if waiting is None else waiting.seq,
+                "fetch_done": core.fetch_done[tid],
+                "finished": core.finished[tid],
+                "replay_depth": len(core.replay[tid]),
+                "next_pc": _peek_pc_safe(core, tid),
+            }
+        )
+    groups = [
+        {
+            "gid": group.gid,
+            "mask": group.mask,
+            "mode": core.sync.mode_of(group).value,
+            "branches_since_split": group.branches_since_split,
+            "drain_pending": group.drain_pending,
+        }
+        for group in core.sync.active_groups()
+    ]
+    in_flight = [
+        {
+            "seq": di.seq,
+            "pc": di.pc,
+            "op": di.inst.op.value,
+            "itid": di.itid,
+            "state": di.state.value,
+            "mispredicted": di.mispredicted,
+        }
+        for di in core.rob
+    ]
+    return {
+        "cycle": core.cycle,
+        "committed_thread_insts": core.stats.committed_thread_insts,
+        "occupancy": {
+            "rob": len(core.rob),
+            "iq": len(core.iq),
+            "lsq": len(core.lsq),
+            "decode_buffer": len(core.decode_buffer),
+            "mshr_outstanding": core.hierarchy.mshr.outstanding(),
+            "phys_regs_free": core.regfile.free_count(),
+        },
+        "threads": threads,
+        "groups": groups,
+        "in_flight": in_flight,
+    }
+
+
+def _peek_pc_safe(core, tid: int):
+    """The thread's next fetch PC; never raises (snapshot must not fail)."""
+    try:
+        return core._peek_pc(tid)
+    except Exception:  # pragma: no cover - defensive: wedged group state
+        return None
+
+
+def write_dump(document: dict, path: str | Path) -> Path:
+    """Write a flight-recorder *document* to *path* as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_dump(path: str | Path) -> dict:
+    """Read a dump written by :func:`write_dump`."""
+    return json.loads(Path(path).read_text())

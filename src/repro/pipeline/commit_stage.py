@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.itid import threads_of
 from repro.core.sync import FetchMode
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst, InstState
 
 _MERGEABLE_MODES = (FetchMode.DETECT, FetchMode.CATCHUP)
@@ -78,6 +79,16 @@ class CommitStageMixin:
             self.lsq.remove(di)
         self.rob.remove(di)
         di.state = InstState.COMMITTED
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.COMMIT,
+                self.cycle,
+                tid=owners[0],
+                pc=di.pc,
+                seq=di.seq,
+                itid=di.itid,
+                threads=k,
+            )
 
         if di.halt:
             for tid in owners:

@@ -23,6 +23,7 @@ from repro.core.itid import threads_of
 from repro.core.sync import ThreadGroup
 from repro.func.executor import Executed
 from repro.isa.opcodes import Opcode
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst
 
 
@@ -107,7 +108,10 @@ class FetchStageMixin:
             behinds = self.sync.behinds_of(group.gid)
             if behinds and any(gid in fetched_gids for gid in behinds):
                 continue
-            if self._group_stalled(group) or self._group_pc(group) is None:
+            if self._group_stalled(group):
+                continue
+            pc = self._group_pc(group)
+            if pc is None:
                 continue
             fetched, hold_gids = self._fetch_group(group, budget)
             held.update(hold_gids)
@@ -115,6 +119,17 @@ class FetchStageMixin:
                 budget -= fetched
                 sessions += 1
                 fetched_gids.add(group.gid)
+                if self.obs.tracing:
+                    self.obs.emit(
+                        EventKind.FETCH,
+                        self.cycle,
+                        tid=group.leader,
+                        pc=pc,
+                        gid=group.gid,
+                        mask=group.mask,
+                        mode=self.sync.mode_of(group).value,
+                        count=fetched,
+                    )
         self.stats.fetch_sessions += sessions
 
     def _try_remerge(self) -> None:
@@ -221,12 +236,31 @@ class FetchStageMixin:
                 self.fetch_stall_until[tid] = 0
             del self._hint_parked[pc]
             self.stats.hint_releases += 1
+            if self.obs.tracing:
+                self.obs.emit(
+                    EventKind.HINT,
+                    self.cycle,
+                    tid=members[0],
+                    pc=pc,
+                    action="release",
+                    released=parked[0],
+                )
             return
         deadline = self.cycle + self.mmt.hint_window
         for tid in members:
             self.fetch_stall_until[tid] = deadline
         self._hint_parked[pc] = (list(members), deadline)
         self.stats.hint_parks += 1
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.HINT,
+                self.cycle,
+                tid=members[0],
+                pc=pc,
+                action="park",
+                parked=list(members),
+                deadline=deadline,
+            )
 
     # --------------------------------------------------------- control flow
     def _handle_control(
@@ -256,6 +290,16 @@ class FetchStageMixin:
                 self.stalled_on_branch[tid] = di
             di.mispredicted = True
             self.stats.branch_mispredicts += 1
+            if self.obs.tracing:
+                self.obs.emit(
+                    EventKind.MISPREDICT,
+                    self.cycle,
+                    tid=leader,
+                    pc=pc,
+                    seq=di.seq,
+                    predicted=pred_next,
+                    actual=actual_next,
+                )
             return "mispredict"
         return "taken" if taken else "continue"
 
@@ -321,4 +365,13 @@ class FetchStageMixin:
         if any_stalled:
             di.mispredicted = True
             self.stats.branch_mispredicts += 1
+            if self.obs.tracing:
+                self.obs.emit(
+                    EventKind.MISPREDICT,
+                    self.cycle,
+                    tid=leader,
+                    pc=di.pc,
+                    seq=di.seq,
+                    divergence=True,
+                )
         return "divergence"

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.core.itid import first_thread, threads_of
 from repro.core.regmerge import values_equal
 from repro.isa.opcodes import DEFAULT_LATENCY, OpClass
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst, InstState
 from repro.pipeline.squash import squash_thread
 
@@ -42,6 +43,7 @@ class IssueStageMixin:
         fpu_slots = cfg.num_fpu
         issued = 0
         ready = self.regfile.ready
+        tracing = self.obs.tracing
         for di in list(self.iq):
             if issued >= cfg.issue_width:
                 break
@@ -75,6 +77,16 @@ class IssueStageMixin:
             self.stats.issued_entries += 1
             if is_fpu:
                 self.stats.issued_fpu_entries += 1
+            if tracing:
+                self.obs.emit(
+                    EventKind.ISSUE,
+                    self.cycle,
+                    tid=first_thread(di.itid),
+                    pc=di.pc,
+                    seq=di.seq,
+                    itid=di.itid,
+                    op=di.inst.op.value,
+                )
 
     def _verify_sources(self, di: DynInst) -> None:
         """Check operand values against every owning thread's oracle record."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.core.config import WorkloadType
 from repro.core.itid import first_thread
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst, InstState
 
 _ADDR_UNKNOWN_STATES = (InstState.DECODED, InstState.WAITING, InstState.ISSUED)
@@ -84,6 +85,16 @@ class LoadStoreQueue:
                 # Store-to-load forwarding: value available next cycle.
                 di.mem_pending[tid] = now + 1
                 core.stats.store_forwards += 1
+                if core.obs.tracing:
+                    core.obs.emit(
+                        EventKind.STORE_FORWARD,
+                        now,
+                        tid=tid,
+                        pc=di.pc,
+                        seq=di.seq,
+                        addr=rec.addr,
+                        store_seq=conflict.seq,
+                    )
             else:
                 if core.ldst_ports_left <= 0:
                     core.stats.ldst_port_stalls += 1

@@ -20,6 +20,7 @@ from repro.core.config import WorkloadType
 from repro.core.itid import first_thread, popcount, threads_of
 from repro.core.splitter import split_itid
 from repro.isa.opcodes import Opcode
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst, InstState
 
 
@@ -129,19 +130,34 @@ class RenameStageMixin:
     # ------------------------------------------------------------- resources
     def _resources_available(self, pieces: list[DynInst]) -> bool:
         cfg = self.config
+        reason = None
         if len(self.rob) + len(pieces) > cfg.rob_size:
             self.stats.rename_stalls_rob += 1
-            return False
-        if len(self.iq) + len(pieces) > cfg.iq_size:
+            reason = "rob"
+        elif len(self.iq) + len(pieces) > cfg.iq_size:
             self.stats.rename_stalls_iq += 1
-            return False
-        if pieces[0].inst.is_mem and len(self.lsq) + len(pieces) > cfg.lsq_size:
+            reason = "iq"
+        elif pieces[0].inst.is_mem and len(self.lsq) + len(pieces) > cfg.lsq_size:
             self.stats.rename_stalls_lsq += 1
-            return False
-        if pieces[0].inst.dst is not None and self.regfile.free_count() < len(pieces):
+            reason = "lsq"
+        elif (
+            pieces[0].inst.dst is not None
+            and self.regfile.free_count() < len(pieces)
+        ):
             self.stats.rename_stalls_regs += 1
-            return False
-        return True
+            reason = "regs"
+        if reason is None:
+            return True
+        if self.obs.tracing:
+            self.obs.emit(
+                EventKind.RENAME_STALL,
+                self.cycle,
+                pc=pieces[0].pc,
+                seq=pieces[0].seq,
+                reason=reason,
+                pieces=len(pieces),
+            )
+        return False
 
     # ---------------------------------------------------------------- rename
     def _rename_one(self, piece: DynInst) -> None:

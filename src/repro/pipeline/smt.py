@@ -33,6 +33,7 @@ from repro.core.sync import SyncController
 from repro.func.executor import FunctionalExecutor
 from repro.isa.registers import NUM_ARCH_REGS
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.observer import NULL_OBS, Observer
 from repro.pipeline.commit_stage import CommitStageMixin
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.dyninst import DynInst
@@ -61,6 +62,7 @@ class SMTCore(
         strict: bool = True,
         warm_caches: bool = True,
         start_delays: list[int] | None = None,
+        obs: Observer | None = None,
     ) -> None:
         if job.num_contexts > machine.num_threads:
             raise ValueError(
@@ -154,6 +156,11 @@ class SMTCore(
         self.stats = SimStats()
         if warm_caches:
             self._warm_caches()
+        # Observability: attached after warming so warm-up accesses (whose
+        # counters are reset anyway) never reach the sink.
+        self.obs = obs or NULL_OBS
+        self.sync.obs = self.obs
+        self.hierarchy.obs = self.obs
 
     def _warm_caches(self) -> None:
         """Pre-touch program text and initial data images.
@@ -236,6 +243,9 @@ class SMTCore(
     def step(self) -> None:
         """Advance the machine one clock cycle."""
         self.cycle += 1
+        obs = self.obs
+        if obs.active:
+            obs.begin_cycle(self.cycle)
         self.hierarchy.tick(self.cycle)
         self.regmerge.new_cycle()
         self.ldst_ports_left = self.config.ldst_ports
@@ -246,6 +256,10 @@ class SMTCore(
         self.rename_stage()
         self.fetch_stage()
         self.stats.cycles = self.cycle
+        if obs.active:
+            # Interval sampling plus the no-forward-progress watchdog
+            # (raises WatchdogError on livelock, with a flight dump).
+            obs.end_cycle(self)
 
     def run(self) -> SimStats:
         """Run to completion; returns the statistics object."""
@@ -257,6 +271,8 @@ class SMTCore(
                     f"(finished={self.finished}, cycle={self.cycle})"
                 )
             self.step()
+        if self.obs.active:
+            self.obs.finalize(self)
         if self.strict:
             self._final_checks()
         return self.stats
@@ -268,3 +284,4 @@ class SMTCore(
         for tid in range(self.num_threads):
             if not self.states[tid].halted:
                 raise SimulationInvariantError(f"context {tid} never halted")
+        self.stats.validate()

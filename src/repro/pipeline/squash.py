@@ -11,6 +11,7 @@ instruction whose ITID empties dies entirely.
 
 from __future__ import annotations
 
+from repro.obs.events import EventKind
 from repro.pipeline.dyninst import DynInst
 
 
@@ -68,6 +69,14 @@ def squash_thread(core, tid: int, after_seq: int) -> int:
 
     _recompute_writer_bits(core, tid)
     core.stats.lvip_squashed_insts += squashed
+    if core.obs.tracing:
+        core.obs.emit(
+            EventKind.SQUASH,
+            core.cycle,
+            tid=tid,
+            after_seq=after_seq,
+            squashed=squashed,
+        )
     return squashed
 
 

@@ -17,6 +17,10 @@ from dataclasses import dataclass, field
 from repro.core.sync import FetchMode
 
 
+class StatsConsistencyError(RuntimeError):
+    """SimStats counters violate a cross-counter invariant."""
+
+
 @dataclass
 class SimStats:
     """All counters produced by one simulation run."""
@@ -89,6 +93,76 @@ class SimStats:
     register_merge_successes: int = 0
 
     halted_threads: int = 0
+
+    def validate(self) -> None:
+        """Cross-check counter invariants; raises StatsConsistencyError.
+
+        These relations hold by construction of the counter conventions
+        (thread-instructions >= entries, mode breakdown partitions fetch,
+        per-thread commits partition total commits, ...).  A violation
+        means a stage updated one counter and skipped its sibling.
+        """
+        problems = []
+
+        def check(condition: bool, message: str) -> None:
+            if not condition:
+                problems.append(message)
+
+        check(
+            self.fetched_entries <= self.fetched_thread_insts,
+            f"fetched entries ({self.fetched_entries}) exceed "
+            f"fetched thread-insts ({self.fetched_thread_insts})",
+        )
+        check(
+            self.committed_entries <= self.committed_thread_insts,
+            f"committed entries ({self.committed_entries}) exceed "
+            f"committed thread-insts ({self.committed_thread_insts})",
+        )
+        check(
+            sum(self.fetched_by_mode.values()) == self.fetched_thread_insts,
+            "fetched_by_mode does not partition fetched thread-insts: "
+            f"{sum(self.fetched_by_mode.values())} != "
+            f"{self.fetched_thread_insts}",
+        )
+        check(
+            sum(self.committed_per_thread.values())
+            == self.committed_thread_insts,
+            "committed_per_thread does not partition committed "
+            f"thread-insts: {sum(self.committed_per_thread.values())} != "
+            f"{self.committed_thread_insts}",
+        )
+        check(
+            self.committed_thread_insts <= self.fetched_thread_insts,
+            f"committed thread-insts ({self.committed_thread_insts}) exceed "
+            f"fetched thread-insts ({self.fetched_thread_insts})",
+        )
+        check(
+            self.committed_exec_identical + self.committed_fetch_identical
+            <= self.committed_thread_insts,
+            "identical breakdown exceeds committed thread-insts",
+        )
+        check(
+            self.committed_exec_identical_regmerge
+            <= self.committed_exec_identical,
+            "regmerge-attributed commits exceed exec-identical commits",
+        )
+        check(
+            self.lvip_predict_identical <= self.lvip_checks,
+            f"LVIP identical predictions ({self.lvip_predict_identical}) "
+            f"exceed LVIP checks ({self.lvip_checks})",
+        )
+        check(
+            self.register_merge_successes <= self.register_merge_attempts,
+            f"register merge successes ({self.register_merge_successes}) "
+            f"exceed attempts ({self.register_merge_attempts})",
+        )
+        check(
+            self.issued_fpu_entries <= self.issued_entries,
+            f"FPU issues ({self.issued_fpu_entries}) exceed total issues "
+            f"({self.issued_entries})",
+        )
+        if problems:
+            raise StatsConsistencyError("; ".join(problems))
 
     def ipc(self) -> float:
         """Committed thread-instructions per cycle."""

@@ -106,7 +106,37 @@ def _execute_identical(a: Executed, b: Executed) -> bool:
 def analyze_pair(
     trace_a: list[Executed], trace_b: list[Executed]
 ) -> PairSharing:
-    """Common-subtrace sharing analysis of two per-context traces."""
+    """Common-subtrace sharing analysis of two per-context traces.
+
+    The matcher's tie-breaking between equally good common subtraces
+    depends on argument order, which would make the *measurement*
+    asymmetric; the traces are therefore analyzed in a canonical order
+    (lexicographic over block keys) and the sides swapped back after.
+    """
+    keys_a = [(pc, length) for pc, length, _ in _basic_blocks(trace_a)]
+    keys_b = [(pc, length) for pc, length, _ in _basic_blocks(trace_b)]
+    if keys_b < keys_a:
+        return _swap_sides(_analyze_ordered(trace_b, trace_a))
+    return _analyze_ordered(trace_a, trace_b)
+
+
+def _swap_sides(result: PairSharing) -> PairSharing:
+    result.total_a, result.total_b = result.total_b, result.total_a
+    for gap in result.gaps:
+        gap.a_instructions, gap.b_instructions = (
+            gap.b_instructions,
+            gap.a_instructions,
+        )
+        gap.a_taken_branches, gap.b_taken_branches = (
+            gap.b_taken_branches,
+            gap.a_taken_branches,
+        )
+    return result
+
+
+def _analyze_ordered(
+    trace_a: list[Executed], trace_b: list[Executed]
+) -> PairSharing:
     result = PairSharing(total_a=len(trace_a), total_b=len(trace_b))
     blocks_a = _basic_blocks(trace_a)
     blocks_b = _basic_blocks(trace_b)

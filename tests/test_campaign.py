@@ -257,3 +257,43 @@ def test_code_fingerprint_env_override(monkeypatch):
     monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
     assert code_fingerprint() == "abc123"
     monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+
+
+# --------------------------------------------------- rss + failure dumps
+def test_outcomes_record_worker_rss(cache):
+    result = run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
+    outcome = result.outcomes[0]
+    assert outcome.max_rss_kb > 0
+    assert summarize_campaign(result)["job_rss_max_kb"] >= outcome.max_rss_kb
+
+    # A cache hit replays the RSS recorded when the entry was produced.
+    second = run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
+    assert second.outcomes[0].from_cache
+    assert second.outcomes[0].max_rss_kb == outcome.max_rss_kb
+
+
+def test_livelocked_job_leaves_flight_dump(cache, tmp_path):
+    from repro.harness.experiment import simulate_job_faulty
+    from repro.obs import load_dump
+
+    job = CampaignJob("ammp", MMTConfig.base(), 2, scale=0.1, tag="livelock")
+    result = run_campaign([job], simulate_job_faulty, workers=1, retries=0,
+                          cache=cache, failure_dump_dir=tmp_path / "flight")
+    outcome = result.outcomes[0]
+    assert outcome.status == "failed"
+    assert "WatchdogError" in outcome.error
+    assert outcome.dump_path and outcome.dump_path.endswith(".flight.json")
+    document = load_dump(outcome.dump_path)
+    assert document["committed_thread_insts"] == 0
+    assert document["events"][-1]["kind"] == "watchdog"
+    # The failure report row surfaces the dump path.
+    rows = campaign_failure_rows(result)
+    assert rows[0]["dump"] == outcome.dump_path
+
+
+def test_successful_job_has_no_dump(cache, tmp_path):
+    result = run_campaign([AddJob(4, 4)], add_runner, workers=1, cache=cache,
+                          failure_dump_dir=tmp_path / "flight")
+    outcome = result.outcomes[0]
+    assert outcome.ok and outcome.dump_path is None
+    assert not list((tmp_path / "flight").glob("*.flight.json"))

@@ -49,3 +49,37 @@ def test_scale_argument_parsed():
     args = build_parser().parse_args(["fig1", "--scale", "0.5"])
     assert args.scale == 0.5
     assert args.apps is None
+
+
+def test_trace_target(capsys, tmp_path):
+    chrome = tmp_path / "trace.json"
+    rows = tmp_path / "rows.json"
+    assert main(["trace", "--apps", "ammp", "--config", "MMT-FXR",
+                 "--scale", "0.1", "--interval", "200",
+                 "--chrome", str(chrome), "--json", str(rows)]) == 0
+    out = capsys.readouterr().out
+    assert "reconcile exactly" in out
+    assert "commit" in out  # event tally printed
+    assert chrome.exists() and rows.exists()
+
+    from repro.obs import load_chrome_trace, validate_chrome_trace
+
+    assert validate_chrome_trace(load_chrome_trace(chrome)) == []
+
+
+def test_trace_rejects_unknown_config(capsys):
+    assert main(["trace", "--apps", "ammp", "--config", "NoSuch"]) == 2
+    assert "unknown config" in capsys.readouterr().out
+
+
+def test_campaign_flags_parsed():
+    args = build_parser().parse_args(
+        ["campaign", "--inject-livelock", "--dump-dir", "dumps"])
+    assert args.inject_livelock and args.dump_dir == "dumps"
+    assert build_parser().parse_args(["campaign"]).dump_dir == ".repro-flight"
+
+
+def test_trace_flags_parsed():
+    args = build_parser().parse_args(["trace", "--interval", "500"])
+    assert args.interval == 500 and args.config == "MMT-FXR"
+    assert args.chrome is None
