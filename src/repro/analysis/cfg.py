@@ -1,0 +1,218 @@
+"""Basic-block control-flow graphs over guest ISA programs.
+
+A :class:`CFG` partitions a program's instruction list into maximal basic
+blocks and records the successor/predecessor edges between them.  It is the
+substrate for everything in :mod:`repro.analysis`: dominators and loops
+(:mod:`repro.analysis.dom`), the dataflow solvers
+(:mod:`repro.analysis.dataflow`), the guest linter
+(:mod:`repro.analysis.lint`), and the static redundancy oracle
+(:mod:`repro.analysis.redundancy`).
+
+Control-flow modelling:
+
+* conditional branches have two successors (target, fall-through);
+* ``J``/``JAL`` have one successor (the target) — ``JAL`` is treated as a
+  call whose matching return arrives through ``JR``;
+* ``JR`` is an indirect jump.  In this ISA it is only ever used as a
+  function return, so its successors are conservatively the *return
+  sites*: every instruction following a ``JAL``.  A program with a ``JR``
+  but no ``JAL`` gets no successors (the linter flags the dead end);
+* ``HALT`` terminates: no successors;
+* an instruction whose fall-through would leave the image is recorded in
+  :attr:`CFG.falls_off_end` rather than given a phantom successor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    __slots__ = ("bid", "start", "end", "succs", "preds")
+
+    def __init__(self, bid: int, start: int, end: int) -> None:
+        self.bid = bid
+        #: First instruction index (inclusive).
+        self.start = start
+        #: One past the last instruction index (exclusive).
+        self.end = end
+        self.succs: list[int] = []
+        self.preds: list[int] = []
+
+    def pcs(self) -> range:
+        """Instruction indices of this block."""
+        return range(self.start, self.end)
+
+    @property
+    def last(self) -> int:
+        """PC of the block's terminator (its final instruction)."""
+        return self.end - 1
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<B{self.bid} [{self.start}..{self.end}) "
+            f"-> {','.join(str(s) for s in self.succs)}>"
+        )
+
+
+class CFG:
+    """Control-flow graph of one instruction sequence."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        entry: int = 0,
+        name: str = "program",
+    ) -> None:
+        self.instructions: list[Instruction] = list(instructions)
+        self.name = name
+        self.entry_pc = entry
+        #: PCs whose fall-through would run past the end of the image.
+        self.falls_off_end: set[int] = set()
+        #: Return sites: pc+1 of every JAL (the successors of any JR).
+        self.return_sites: list[int] = [
+            pc + 1
+            for pc, inst in enumerate(self.instructions)
+            if inst.op is Opcode.JAL and pc + 1 < len(self.instructions)
+        ]
+        self.blocks: list[BasicBlock] = []
+        #: Map pc -> block id.
+        self.block_of: list[int] = []
+        self._build()
+        self.entry_block = self.block_of[entry] if self.instructions else 0
+
+    @classmethod
+    def from_program(cls, program: Program) -> "CFG":
+        """Build the CFG of a linked :class:`~repro.isa.program.Program`."""
+        return cls(program.instructions, entry=program.entry, name=program.name)
+
+    # ------------------------------------------------------------------ build
+    def _succ_pcs(self, pc: int) -> list[int]:
+        """Successor PCs of the instruction at *pc* (image-bounded)."""
+        inst = self.instructions[pc]
+        n = len(self.instructions)
+        if inst.op is Opcode.HALT:
+            return []
+        if inst.op is Opcode.JR:
+            return list(self.return_sites)
+        succs: list[int] = []
+        if inst.is_control:
+            if inst.target is not None and 0 <= inst.target < n:
+                succs.append(inst.target)
+            if not inst.is_branch:
+                return succs  # J/JAL: no fall-through
+        # Fall-through (also the not-taken path of a branch).
+        if pc + 1 < n:
+            succs.append(pc + 1)
+        else:
+            self.falls_off_end.add(pc)
+        return succs
+
+    def _build(self) -> None:
+        n = len(self.instructions)
+        if n == 0:
+            return
+        leaders = {0, self.entry_pc}
+        for pc, inst in enumerate(self.instructions):
+            if inst.is_control or inst.op is Opcode.HALT:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            if inst.target is not None and 0 <= inst.target < n:
+                leaders.add(inst.target)
+        leaders.update(site for site in self.return_sites if site < n)
+
+        starts = sorted(leaders)
+        self.block_of = [0] * n
+        for bid, start in enumerate(starts):
+            end = starts[bid + 1] if bid + 1 < len(starts) else n
+            block = BasicBlock(bid, start, end)
+            self.blocks.append(block)
+            for pc in range(start, end):
+                self.block_of[pc] = bid
+
+        for block in self.blocks:
+            seen: set[int] = set()
+            for succ_pc in self._succ_pcs(block.last):
+                sid = self.block_of[succ_pc]
+                if sid not in seen:
+                    seen.add(sid)
+                    block.succs.append(sid)
+        for block in self.blocks:
+            for sid in block.succs:
+                self.blocks[sid].preds.append(block.bid)
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from the entry block."""
+        if not self.blocks:
+            return set()
+        seen = {self.entry_block}
+        stack = [self.entry_block]
+        while stack:
+            for sid in self.blocks[stack.pop()].succs:
+                if sid not in seen:
+                    seen.add(sid)
+                    stack.append(sid)
+        return seen
+
+    def sccs(self) -> list[list[int]]:
+        """Strongly connected components (iterative Tarjan), in discovery
+        order.  Singleton components without a self-edge are included; the
+        caller distinguishes genuine cycles."""
+        index: dict[int, int] = {}
+        low: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        result: list[list[int]] = []
+        counter = 0
+        for root in range(len(self.blocks)):
+            if root in index:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child = work[-1]
+                if child == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                succs = self.blocks[node].succs
+                while child < len(succs):
+                    succ = succs[child]
+                    child += 1
+                    if succ not in index:
+                        work[-1] = (node, child)
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    component: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return result

@@ -1,0 +1,236 @@
+"""Generic iterative dataflow solving, plus the two classic instances.
+
+:func:`solve` runs a worklist fixpoint over a
+:class:`~repro.analysis.cfg.CFG` for an arbitrary lattice: the caller
+supplies the join, the per-block transfer function, and the boundary
+value.  The solver is direction-agnostic (``forward`` / ``backward``) and
+enforces a convergence-iteration cap so a buggy (non-monotone) transfer
+function raises :class:`DataflowDivergence` instead of spinning forever.
+
+Two standard instances are provided:
+
+* :func:`reaching_definitions` — forward, may; definitions are
+  ``(pc, reg)`` pairs, with ``pc == ENTRY_DEF`` marking registers defined
+  by the hardware before the first instruction.
+* :func:`liveness` — backward, may; live architected registers per block
+  boundary.
+
+The taint analysis of :mod:`repro.analysis.redundancy` instantiates the
+same solver with a register-file lattice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TypeVar
+
+from repro.analysis.cfg import CFG
+from repro.isa.registers import SP, ZERO
+
+S = TypeVar("S")
+
+#: Pseudo-PC of definitions that exist before the program starts.
+ENTRY_DEF = -1
+
+#: A definition site: (pc, architected register).
+Def = tuple[int, int]
+
+#: Per-state-update factor of the default convergence cap.
+DEFAULT_CAP_FACTOR = 64
+
+
+class DataflowDivergence(RuntimeError):
+    """The fixpoint failed to converge within the iteration cap."""
+
+
+def solve(
+    cfg: CFG,
+    *,
+    direction: str,
+    boundary: S,
+    init: S,
+    transfer: Callable[[int, S], S],
+    join: Callable[[S, S], S],
+    max_iterations: int | None = None,
+) -> tuple[list[S], list[S]]:
+    """Run a worklist fixpoint; returns ``(IN, OUT)`` states per block.
+
+    For ``direction="forward"``, IN is the join over predecessor OUTs and
+    OUT = transfer(block, IN); the boundary value feeds the entry block.
+    For ``direction="backward"`` the roles are mirrored (IN is computed
+    from successor OUTs... i.e. the returned first list is the state at
+    block *entry*, the second at block *exit*, in program order, for both
+    directions).  *max_iterations* caps the number of block evaluations
+    (default ``DEFAULT_CAP_FACTOR * (blocks + 1)``).
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {direction!r}")
+    num = len(cfg.blocks)
+    state_in: list[S] = [init for _ in range(num)]
+    state_out: list[S] = [init for _ in range(num)]
+    if num == 0:
+        return state_in, state_out
+    forward = direction == "forward"
+    cap = (
+        max_iterations
+        if max_iterations is not None
+        else DEFAULT_CAP_FACTOR * (num + 1)
+    )
+    if forward:
+        boundary_blocks = {cfg.entry_block}
+        worklist = list(range(num))
+    else:
+        boundary_blocks = {b.bid for b in cfg.blocks if not b.succs}
+        worklist = list(range(num - 1, -1, -1))
+    queued = set(worklist)
+    evaluations = 0
+    while worklist:
+        bid = worklist.pop(0)
+        queued.discard(bid)
+        evaluations += 1
+        if evaluations > cap:
+            raise DataflowDivergence(
+                f"{cfg.name}: dataflow fixpoint exceeded {cap} block "
+                f"evaluations ({num} blocks) — non-monotone transfer?"
+            )
+        block = cfg.blocks[bid]
+        sources = block.preds if forward else block.succs
+        acc = boundary if bid in boundary_blocks else init
+        for src in sources:
+            acc = join(acc, state_out[src] if forward else state_in[src])
+        new = transfer(bid, acc)
+        if forward:
+            changed = new != state_out[bid] or acc != state_in[bid]
+            state_in[bid] = acc
+            state_out[bid] = new
+        else:
+            changed = new != state_in[bid] or acc != state_out[bid]
+            state_out[bid] = acc
+            state_in[bid] = new
+        if changed:
+            dests = block.succs if forward else block.preds
+            for dest in dests:
+                if dest not in queued:
+                    queued.add(dest)
+                    worklist.append(dest)
+    return state_in, state_out
+
+
+# ----------------------------------------------------- reaching definitions
+class ReachingDefs:
+    """Reaching-definition sets per block boundary and per instruction."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        block_in: list[frozenset[Def]],
+        block_out: list[frozenset[Def]],
+    ) -> None:
+        self.cfg = cfg
+        self.block_in = block_in
+        self.block_out = block_out
+
+    def at(self, pc: int) -> frozenset[Def]:
+        """Definitions reaching the instruction at *pc* (before it runs)."""
+        bid = self.cfg.block_of[pc]
+        state = set(self.block_in[bid])
+        for earlier in range(self.cfg.blocks[bid].start, pc):
+            dst = self.cfg.instructions[earlier].dst
+            if dst is not None:
+                state = {d for d in state if d[1] != dst}
+                state.add((earlier, dst))
+        return frozenset(state)
+
+    def defs_of(self, pc: int, reg: int) -> frozenset[Def]:
+        """Definitions of *reg* reaching *pc*."""
+        return frozenset(d for d in self.at(pc) if d[1] == reg)
+
+
+def reaching_definitions(
+    cfg: CFG,
+    entry_regs: Iterable[int] = (ZERO, SP),
+    max_iterations: int | None = None,
+) -> ReachingDefs:
+    """Forward may-analysis over ``(pc, reg)`` definition sites.
+
+    *entry_regs* are registers carrying a hardware-provided value at
+    program start (the zero register and the stack pointer by default);
+    they appear as ``(ENTRY_DEF, reg)`` pseudo-definitions.
+    """
+    gen: list[dict[int, int]] = []  # reg -> defining pc (last in block)
+    for block in cfg.blocks:
+        last: dict[int, int] = {}
+        for pc in block.pcs():
+            dst = cfg.instructions[pc].dst
+            if dst is not None:
+                last[dst] = pc
+        gen.append(last)
+
+    def transfer(bid: int, state: frozenset[Def]) -> frozenset[Def]:
+        killed_regs = gen[bid].keys()
+        survivors = {d for d in state if d[1] not in killed_regs}
+        survivors.update((pc, reg) for reg, pc in gen[bid].items())
+        return frozenset(survivors)
+
+    boundary = frozenset((ENTRY_DEF, reg) for reg in entry_regs)
+    block_in, block_out = solve(
+        cfg,
+        direction="forward",
+        boundary=boundary,
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        max_iterations=max_iterations,
+    )
+    return ReachingDefs(cfg, block_in, block_out)
+
+
+# ------------------------------------------------------------------ liveness
+class Liveness:
+    """Live architected registers per block boundary."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        live_in: list[frozenset[int]],
+        live_out: list[frozenset[int]],
+    ) -> None:
+        self.cfg = cfg
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_after(self, pc: int) -> frozenset[int]:
+        """Registers live immediately after the instruction at *pc*."""
+        bid = self.cfg.block_of[pc]
+        live = set(self.live_out[bid])
+        for later in range(self.cfg.blocks[bid].end - 1, pc, -1):
+            inst = self.cfg.instructions[later]
+            if inst.dst is not None:
+                live.discard(inst.dst)
+            live.update(inst.srcs)
+        return frozenset(live)
+
+
+def liveness(cfg: CFG, max_iterations: int | None = None) -> Liveness:
+    """Backward may-analysis: which registers may be read before rewrite."""
+
+    def transfer(bid: int, state: frozenset[int]) -> frozenset[int]:
+        live = set(state)
+        block = cfg.blocks[bid]
+        for pc in range(block.end - 1, block.start - 1, -1):
+            inst = cfg.instructions[pc]
+            if inst.dst is not None:
+                live.discard(inst.dst)
+            live.update(inst.srcs)
+        return frozenset(live)
+
+    live_in, live_out = solve(
+        cfg,
+        direction="backward",
+        boundary=frozenset(),
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        max_iterations=max_iterations,
+    )
+    return Liveness(cfg, live_in, live_out)

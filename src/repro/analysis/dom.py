@@ -1,0 +1,182 @@
+"""Dominator trees, postdominators, and natural loops.
+
+Implements the Cooper–Harvey–Kennedy iterative dominance algorithm ("A
+Simple, Fast Dominance Algorithm") over :class:`~repro.analysis.cfg.CFG`.
+Postdominators run the same algorithm on the reversed graph augmented with
+a virtual exit node that every block without successors flows into; blocks
+that cannot reach any exit (infinite loops) have no postdominator.
+
+Natural loops are derived from back edges ``n -> h`` where ``h`` dominates
+``n``; irreducible cycles (none are emitted by our generators) are caught
+separately by the linter's SCC-based infinite-loop rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.cfg import CFG
+
+#: Node id of the virtual exit used by :func:`postdominators`.
+VIRTUAL_EXIT = -1
+
+
+def _reverse_postorder(
+    num_nodes: int, entry: int, succs_of: Callable[[int], Sequence[int]]
+) -> list[int]:
+    """Reverse postorder over the nodes reachable from *entry*."""
+    seen = {entry}
+    order: list[int] = []
+    stack: list[tuple[int, int]] = [(entry, 0)]
+    while stack:
+        node, child = stack[-1]
+        succs = succs_of(node)
+        if child < len(succs):
+            stack[-1] = (node, child + 1)
+            succ = succs[child]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def _idoms(
+    num_nodes: int,
+    entry: int,
+    succs_of: Callable[[int], Sequence[int]],
+    preds_of: Callable[[int], Sequence[int]],
+) -> dict[int, int]:
+    """Immediate dominators for nodes reachable from *entry*.
+
+    Returns a map ``node -> idom`` with ``idom[entry] == entry``;
+    unreachable nodes are absent.
+    """
+    rpo = _reverse_postorder(num_nodes, entry, succs_of)
+    position = {node: i for i, node in enumerate(rpo)}
+    idom: dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            new_idom: int | None = None
+            for pred in preds_of(node):
+                if pred not in idom:
+                    continue  # not yet processed / unreachable
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominators(cfg: CFG) -> list[int | None]:
+    """``idom[b]`` per block id (entry maps to itself, unreachable to None)."""
+    if not cfg.blocks:
+        return []
+    idom = _idoms(
+        len(cfg.blocks),
+        cfg.entry_block,
+        lambda b: cfg.blocks[b].succs,
+        lambda b: cfg.blocks[b].preds,
+    )
+    return [idom.get(bid) for bid in range(len(cfg.blocks))]
+
+
+def dominates(idom: Sequence[int | None], a: int, b: int) -> bool:
+    """Does block *a* dominate block *b* (given the idom array)?"""
+    node: int | None = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom[node]
+        if parent == node:
+            return False
+        node = parent
+    return False
+
+
+def postdominators(cfg: CFG) -> list[int | None]:
+    """``ipdom[b]`` per block id, over a virtual exit.
+
+    ``ipdom[b]`` is the immediate postdominator block id, or
+    :data:`VIRTUAL_EXIT` when the virtual exit itself is the immediate
+    postdominator, or ``None`` when *b* cannot reach any exit.
+    """
+    num = len(cfg.blocks)
+    if num == 0:
+        return []
+    exit_node = num  # virtual
+    exit_preds = [b.bid for b in cfg.blocks if not b.succs]
+
+    def succs_rev(node: int) -> Sequence[int]:
+        if node == exit_node:
+            return exit_preds
+        return cfg.blocks[node].preds
+
+    def preds_rev(node: int) -> Sequence[int]:
+        if node == exit_node:
+            return ()
+        succs = cfg.blocks[node].succs
+        if not succs:
+            return [exit_node]
+        return succs
+
+    idom = _idoms(num + 1, exit_node, succs_rev, preds_rev)
+    result: list[int | None] = []
+    for bid in range(num):
+        ip = idom.get(bid)
+        if ip is None:
+            result.append(None)
+        elif ip == exit_node:
+            result.append(VIRTUAL_EXIT)
+        else:
+            result.append(ip)
+    return result
+
+
+def natural_loops(cfg: CFG) -> list[tuple[int, frozenset[int]]]:
+    """Natural loops as ``(header, body)`` pairs, body including the header.
+
+    One entry per back edge; loops sharing a header are merged.
+    """
+    idom = dominators(cfg)
+    bodies: dict[int, set[int]] = {}
+    for block in cfg.blocks:
+        if idom[block.bid] is None:
+            continue  # unreachable tail
+        for succ in block.succs:
+            if not dominates(idom, succ, block.bid):
+                continue
+            body = bodies.setdefault(succ, {succ})
+            stack = [block.bid]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(cfg.blocks[node].preds)
+    return [(header, frozenset(body)) for header, body in sorted(bodies.items())]
+
+
+def loop_depths(cfg: CFG) -> list[int]:
+    """Loop-nesting depth per block (0 = not in any natural loop)."""
+    depths = [0] * len(cfg.blocks)
+    for _header, body in natural_loops(cfg):
+        for bid in body:
+            depths[bid] += 1
+    return depths

@@ -1,0 +1,572 @@
+"""Static redundancy oracle: predict mergeable fractions before simulating.
+
+MMT's fetch merge (PAPER.md §3) exploits that SPMD threads run the *same
+program image*: instructions merge whenever the threads sit at the same PC,
+and registers stay RST-shared while threads write identical values.  Both
+phenomena are statically predictable.  This module runs a thread-divergence
+taint analysis over a program's CFG and produces *sound upper bounds*:
+
+* ``merge_upper_bound`` — an upper bound on the dynamic fetch-merge
+  fraction (``SimStats.mode_breakdown()["merge"]``).  Only *provable*
+  control divergence is subtracted: a conditional branch whose outcome is
+  guaranteed to differ between at least two thread ids forces the threads
+  onto different paths until the branch's immediate postdominator, and the
+  lighter of the two sides can never fetch-merge.  Everything the analysis
+  cannot prove divergent stays inside the bound, so the bound can only be
+  loose, never unsound.
+* ``rst_upper_bound`` — an upper bound on the final RST
+  ``sharing_fraction()``: registers whose exit value is a provably
+  injective function of the thread id (e.g. ``tid`` itself, or the strided
+  stack pointer) must end pairwise-different, so at most the remaining
+  registers can still be shared.
+
+The taint lattice is flat: ``BOT < {CLEAN(c), UNIFORM(site),
+DIFF(site, a, b)} < MAYBE``.  ``CLEAN(c)`` is a known constant (identical
+in every thread); ``UNIFORM(site)`` is an unknown value computed
+identically by all threads at one def site; ``DIFF(site, a, b)`` is the
+affine function ``a*tid + b`` (``a != 0``), or with ``a is b is None`` an
+unknown-but-injective function of ``tid``; ``MAYBE`` is anything else.
+Joining two unequal non-bottom taints yields ``MAYBE``, which keeps every
+must-claim path-insensitive and therefore valid even under thread-divergent
+control flow.  Affine arithmetic assumes no 64-bit wrap-around, which holds
+for the small thread counts and strides the generators emit
+(``a*tid + b`` stays far below ``2**63``).
+
+Loop bodies are weighted by ``LOOP_WEIGHT ** depth`` when converting block
+sets into fractions — a static stand-in for execution frequency.  The
+*bounds* above do not depend on that heuristic being accurate for the
+built-in workloads (their divergent branches are data-dependent, hence
+never *provably* divergent, so nothing is subtracted); it only sharpens
+reports for hand-written programs with structural ``tid`` branches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import ENTRY_DEF, solve
+from repro.analysis.dom import VIRTUAL_EXIT, loop_depths, postdominators
+from repro.core.config import WorkloadType
+from repro.func.state import DEFAULT_STACK_TOP, STACK_STRIDE
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, SP, reg_name
+from repro.pipeline.stats import SimStats
+from repro.workloads.generator import WorkloadBuild
+from repro.workloads.message_passing import MPWorkloadBuild
+
+#: Static execution-frequency multiplier per loop-nesting level.
+LOOP_WEIGHT = 8
+
+#: Block classification labels.
+IDENTICAL = "identical"
+INPUT_DIVERGENT = "input-divergent"
+CONTROL_DIVERGENT = "control-divergent"
+UNREACHABLE = "unreachable"
+
+# ------------------------------------------------------------------- taints
+# Flat lattice, encoded as tuples so states hash/compare structurally:
+#   ("B",)                bottom (no path reaches this point yet)
+#   ("C", value)          known constant, identical across threads
+#   ("U", site)           unknown value, identical across threads
+#   ("D", site, a, b)     value == a*tid + b per thread (a != 0)
+#   ("D", site, None, None)  unknown injective function of tid
+#   ("M",)                may differ across threads
+Taint = tuple[object, ...]
+BOT: Taint = ("B",)
+MAYBE: Taint = ("M",)
+
+#: One register-file abstract state: a taint per architected register.
+RegState = tuple[Taint, ...]
+
+
+def _clean(value: int | float) -> Taint:
+    return ("C", value)
+
+
+def _uniform(site: int) -> Taint:
+    return ("U", site)
+
+
+def _diff(site: int, a: int | None, b: int | None) -> Taint:
+    return ("D", site, a, b)
+
+
+def _is_diff(t: Taint) -> bool:
+    return t[0] == "D"
+
+
+def _is_clean(t: Taint) -> bool:
+    return t[0] == "C"
+
+
+def _is_varying(t: Taint) -> bool:
+    """May the value differ across threads?"""
+    return t[0] in ("D", "M")
+
+
+def _const_of(t: Taint) -> int | None:
+    """The known integer constant, if the taint is an integer CLEAN."""
+    if t[0] == "C":
+        value = t[1]
+        if isinstance(value, int):
+            return value
+    return None
+
+
+def _affine_of(t: Taint) -> tuple[int, int] | None:
+    """The known (a, b) of an affine DIFF taint."""
+    if t[0] == "D":
+        a, b = t[2], t[3]
+        if isinstance(a, int) and isinstance(b, int):
+            return a, b
+    return None
+
+
+def _as_affine(t: Taint) -> tuple[int, int] | None:
+    """View a taint as ``a*tid + b``: affine DIFFs and integer constants."""
+    affine = _affine_of(t)
+    if affine is not None:
+        return affine
+    const = _const_of(t)
+    if const is not None:
+        return 0, const
+    return None
+
+
+def _join_taint(a: Taint, b: Taint) -> Taint:
+    if a == b:
+        return a
+    if a == BOT:
+        return b
+    if b == BOT:
+        return a
+    return MAYBE
+
+
+# 64-bit two's-complement wrap, matching repro.func.executor.
+_MASK64 = (1 << 64) - 1
+
+
+def _to_s64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+def _sll(x: int, y: int) -> int:
+    return _to_s64(x << (y & 63))
+
+
+def _srl(x: int, y: int) -> int:
+    return (x & _MASK64) >> (y & 63)
+
+
+def _sra(x: int, y: int) -> int:
+    return x >> (y & 63)
+
+
+#: Constant folders for integer ALU ops (DIV/REM excluded: div-by-zero).
+_INT_FOLD: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda x, y: _to_s64(x + y),
+    Opcode.SUB: lambda x, y: _to_s64(x - y),
+    Opcode.MUL: lambda x, y: _to_s64(x * y),
+    Opcode.AND: lambda x, y: x & y,
+    Opcode.OR: lambda x, y: x | y,
+    Opcode.XOR: lambda x, y: x ^ y,
+    Opcode.SLL: _sll,
+    Opcode.SRL: _srl,
+    Opcode.SRA: _sra,
+    Opcode.SLT: lambda x, y: int(x < y),
+    Opcode.SEQ: lambda x, y: int(x == y),
+    Opcode.ADDI: lambda x, y: _to_s64(x + y),
+    Opcode.ANDI: lambda x, y: x & y,
+    Opcode.ORI: lambda x, y: x | y,
+    Opcode.XORI: lambda x, y: x ^ y,
+    Opcode.SLLI: _sll,
+    Opcode.SRLI: _srl,
+    Opcode.SLTI: lambda x, y: int(x < y),
+}
+
+_IMM_OPS = frozenset({
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SLTI,
+})
+
+
+def _alu_result(pc: int, op: Opcode, x: Taint, y: Taint) -> Taint:
+    """Taint of an integer ALU result given both operand taints."""
+    if x == BOT or y == BOT:
+        return BOT
+    cx, cy = _const_of(x), _const_of(y)
+    fold = _INT_FOLD.get(op)
+    if cx is not None and cy is not None:
+        if fold is not None:
+            return _clean(fold(cx, cy))
+        return _uniform(pc)  # DIV/REM on constants: fold-free, still uniform
+    ax, ay = _affine_of(x), _affine_of(y)
+
+    # Affine combinations: (a1*t + b1) op (a2*t + b2) with one side possibly
+    # constant (a == 0).  Only ADD/SUB stay affine; MUL by a constant scales.
+    if op in (Opcode.ADD, Opcode.ADDI, Opcode.SUB):
+        pa, pb = _as_affine(x), _as_affine(y)
+        if pa is not None and pb is not None:
+            sign = -1 if op is Opcode.SUB else 1
+            a = pa[0] + sign * pb[0]
+            b = pa[1] + sign * pb[1]
+            if a == 0:
+                return _clean(b)
+            return _diff(pc, a, b)
+    if op is Opcode.MUL:
+        pair = ax if ax is not None else ay
+        const = cy if ax is not None else cx
+        if pair is not None and const is not None:
+            if const == 0:
+                return _clean(0)
+            return _diff(pc, pair[0] * const, pair[1] * const)
+
+    # Injectivity-preserving ops: adding/xoring a thread-uniform value to an
+    # injective-in-tid value keeps it injective (form unknown).
+    if _is_diff(x) != _is_diff(y):
+        d, other = (x, y) if _is_diff(x) else (y, x)
+        if other[0] in ("C", "U") and op in (
+            Opcode.ADD, Opcode.ADDI, Opcode.SUB, Opcode.XOR, Opcode.XORI
+        ):
+            return _diff(pc, None, None)
+
+    if x == MAYBE or y == MAYBE or _is_diff(x) or _is_diff(y):
+        return MAYBE
+    return _uniform(pc)  # uniform/constant inputs, un-modelled op
+
+
+def _transfer_inst(
+    pc: int, inst: Instruction, state: list[Taint], nctx: int
+) -> None:
+    """Apply one instruction's effect to a mutable register-taint list."""
+    dst = inst.dst
+    if dst is None:
+        return
+    op = inst.op
+
+    def src(reg: int | None) -> Taint:
+        return _clean(0) if reg is None else state[reg]
+
+    if op is Opcode.LI or op is Opcode.FLI:
+        result: Taint = _clean(inst.imm if inst.imm is not None else 0)
+    elif op is Opcode.TID:
+        result = _diff(pc, 1, 0) if nctx > 1 else _clean(0)
+    elif op is Opcode.NCTX:
+        result = _clean(nctx)
+    elif op is Opcode.JAL:
+        result = _clean(pc + 1)  # link register: a code address, uniform
+    elif op in (Opcode.LW, Opcode.FLW, Opcode.TRECV):
+        result = MAYBE  # memory / message contents are not modelled
+    elif op in _INT_FOLD or op in (Opcode.DIV, Opcode.REM):
+        if op in _IMM_OPS:
+            result = _alu_result(
+                pc, op, src(inst.rs1), _clean(inst.imm if inst.imm is not None else 0)
+            )
+        else:
+            result = _alu_result(pc, op, src(inst.rs1), src(inst.rs2))
+    elif op in (Opcode.FCVT, Opcode.FNEG):
+        x = src(inst.rs1)
+        if x == BOT:
+            result = BOT
+        elif _is_diff(x):
+            result = _diff(pc, None, None)  # injective: exact for small ints
+        elif x == MAYBE:
+            result = MAYBE
+        else:
+            result = _uniform(pc)
+    else:
+        # Remaining fp ops, compares, etc.: uniform in, uniform out.
+        operands = [src(inst.rs1), src(inst.rs2)]
+        if any(t == BOT for t in operands):
+            result = BOT
+        elif any(_is_varying(t) for t in operands):
+            result = MAYBE
+        else:
+            result = _uniform(pc)
+    state[dst] = result
+
+
+# -------------------------------------------------------- branch divergence
+def _branch_class(inst: Instruction, state: Sequence[Taint], nctx: int) -> str:
+    """Classify a conditional branch: 'uniform', 'may', or 'must' diverge."""
+    t1 = state[inst.rs1] if inst.rs1 is not None else _clean(0)
+    t2 = state[inst.rs2] if inst.rs2 is not None else _clean(0)
+    if t1 == BOT or t2 == BOT:
+        return "uniform"
+    if nctx < 2:
+        return "uniform"
+    if not _is_varying(t1) and not _is_varying(t2):
+        return "uniform"
+
+    # Reduce to d(t) = a*t + b vs 0: outcome as a function of the thread id.
+    p1 = _as_affine(t1)
+    p2 = _as_affine(t2)
+    if p1 is None or p2 is None:
+        return "may"
+    a = p1[0] - p2[0]
+    b = p1[1] - p2[1]
+    if a == 0:
+        return "uniform"  # same affine dependence cancels: all threads agree
+    op = inst.op
+    if op in (Opcode.BEQ, Opcode.BNE):
+        # d(t) == 0 at exactly one real t; divergent iff that t is a live
+        # thread id (the others then disagree with it).
+        if b % a == 0 and 0 <= -b // a < nctx:
+            return "must"
+        return "uniform"  # no thread satisfies equality: all agree
+    # BLT/BGE on lhs < rhs: d(t) < 0 is monotone in t; endpoints decide.
+    first = a * 0 + b < 0
+    last = a * (nctx - 1) + b < 0
+    return "must" if first != last else "uniform"
+
+
+def _divergent_side(
+    cfg: CFG, start: int, stop: int | None, branch_bid: int
+) -> set[int]:
+    """Blocks reachable from *start* before *stop* (the ipdom), excluding it."""
+    if start == stop:
+        return set()
+    seen = {start}
+    stack = [start]
+    while stack:
+        for succ in cfg.blocks[stack.pop()].succs:
+            if succ == stop or succ == branch_bid or succ in seen:
+                continue
+            seen.add(succ)
+            stack.append(succ)
+    return seen
+
+
+# ----------------------------------------------------------------- reports
+@dataclass
+class OracleReport:
+    """Static redundancy classification of one program under *nctx* threads."""
+
+    name: str
+    nctx: int
+    #: Per-block label: identical / input-divergent / control-divergent /
+    #: unreachable.
+    block_classes: list[str]
+    #: Loop-weighted instruction fraction per class (reachable blocks only).
+    identical_fraction: float
+    input_divergent_fraction: float
+    control_divergent_fraction: float
+    #: Sound upper bound on the dynamic fetch-merge fraction.
+    merge_upper_bound: float
+    #: Sound upper bound on the final RST sharing fraction.
+    rst_upper_bound: float
+    #: PCs of branches whose outcome provably differs between threads.
+    must_diverge_branches: list[int] = field(default_factory=list)
+    #: PCs of branches that may (data-dependently) diverge.
+    may_diverge_branches: list[int] = field(default_factory=list)
+    #: Registers whose exit value is provably injective in the thread id.
+    diverging_exit_regs: frozenset[int] = frozenset()
+
+    def validate_against(
+        self, stats: SimStats, rst_sharing: float | None = None
+    ) -> list[str]:
+        """Cross-check the static bounds against one dynamic run.
+
+        Returns human-readable disagreement messages (empty = consistent).
+        A non-empty result means either the workload violates the analysis
+        assumptions or the simulator (or the oracle) has a bug.
+        """
+        problems: list[str] = []
+        measured_merge = stats.mode_breakdown().get("merge", 0.0)
+        if measured_merge > self.merge_upper_bound + 1e-9:
+            problems.append(
+                f"{self.name}: dynamic merge fraction {measured_merge:.4f} "
+                f"exceeds the static upper bound {self.merge_upper_bound:.4f}"
+            )
+        if rst_sharing is not None and rst_sharing > self.rst_upper_bound + 1e-9:
+            regs = ", ".join(reg_name(r) for r in sorted(self.diverging_exit_regs))
+            problems.append(
+                f"{self.name}: dynamic RST sharing {rst_sharing:.4f} exceeds "
+                f"the static upper bound {self.rst_upper_bound:.4f} "
+                f"(must-diverge regs: {regs or 'none'})"
+            )
+        return problems
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: nctx={self.nctx} "
+            f"identical={self.identical_fraction:.2f} "
+            f"input-div={self.input_divergent_fraction:.2f} "
+            f"control-div={self.control_divergent_fraction:.2f} "
+            f"merge<={self.merge_upper_bound:.3f} "
+            f"rst<={self.rst_upper_bound:.3f}"
+        )
+
+
+def analyze_program(
+    program: Program,
+    nctx: int,
+    *,
+    sp_divergent: bool = True,
+    name: str | None = None,
+) -> OracleReport:
+    """Run the thread-divergence taint analysis over one program image.
+
+    *sp_divergent* models the multi-threaded job convention of strided
+    per-thread stack tops; multi-execution and message-passing jobs give
+    every context the same stack top.
+    """
+    cfg = CFG.from_program(program)
+    return analyze_cfg(
+        cfg, nctx, sp_divergent=sp_divergent, name=name or program.name
+    )
+
+
+def analyze_cfg(
+    cfg: CFG,
+    nctx: int,
+    *,
+    sp_divergent: bool = True,
+    name: str = "program",
+) -> OracleReport:
+    """:func:`analyze_program` over an already-built CFG."""
+    num_regs = NUM_ARCH_REGS
+    boundary_list: list[Taint] = [_clean(0)] * num_regs
+    if sp_divergent and nctx > 1:
+        boundary_list[SP] = _diff(ENTRY_DEF, -STACK_STRIDE, DEFAULT_STACK_TOP)
+    else:
+        boundary_list[SP] = _clean(DEFAULT_STACK_TOP)
+    boundary: RegState = tuple(boundary_list)
+    bottom: RegState = tuple([BOT] * num_regs)
+
+    def transfer(bid: int, state: RegState) -> RegState:
+        regs = list(state)
+        for pc in cfg.blocks[bid].pcs():
+            _transfer_inst(pc, cfg.instructions[pc], regs, nctx)
+        return tuple(regs)
+
+    def join(a: RegState, b: RegState) -> RegState:
+        if a == b:
+            return a
+        return tuple(_join_taint(x, y) for x, y in zip(a, b))
+
+    block_in, block_out = solve(
+        cfg,
+        direction="forward",
+        boundary=boundary,
+        init=bottom,
+        transfer=transfer,
+        join=join,
+    )
+
+    def state_at(pc: int) -> RegState:
+        bid = cfg.block_of[pc]
+        regs = list(block_in[bid])
+        for earlier in range(cfg.blocks[bid].start, pc):
+            _transfer_inst(earlier, cfg.instructions[earlier], regs, nctx)
+        return tuple(regs)
+
+    reachable = cfg.reachable()
+    depths = loop_depths(cfg)
+    ipdom = postdominators(cfg)
+
+    def weight(bid: int) -> int:
+        return len(cfg.blocks[bid]) * LOOP_WEIGHT ** depths[bid]
+
+    total_weight = sum(weight(b) for b in reachable) or 1
+
+    # ------------------------------------------------ branch classification
+    must_diverge: list[int] = []
+    may_diverge: list[int] = []
+    control_divergent: set[int] = set()
+    unmergeable: set[int] = set()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            continue
+        inst = cfg.instructions[block.last]
+        if not inst.is_branch:
+            continue
+        klass = _branch_class(inst, state_at(block.last), nctx)
+        if klass == "uniform":
+            continue
+        (must_diverge if klass == "must" else may_diverge).append(block.last)
+        stop = ipdom[block.bid]
+        stop_bid = stop if stop is not None and stop != VIRTUAL_EXIT else None
+        sides = [
+            _divergent_side(cfg, succ, stop_bid, block.bid)
+            for succ in block.succs
+        ]
+        for side in sides:
+            control_divergent |= side
+        if klass == "must" and len(sides) == 2:
+            # The lighter side can never merge while threads are split.
+            lighter = min(sides, key=lambda s: sum(weight(b) for b in s))
+            unmergeable |= lighter
+
+    # --------------------------------------------------- block classification
+    classes: list[str] = []
+    weights = {IDENTICAL: 0, INPUT_DIVERGENT: 0, CONTROL_DIVERGENT: 0}
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            classes.append(UNREACHABLE)
+            continue
+        if block.bid in control_divergent:
+            label = CONTROL_DIVERGENT
+        else:
+            regs = list(block_in[block.bid])
+            label = IDENTICAL
+            for pc in block.pcs():
+                inst = cfg.instructions[pc]
+                if any(_is_varying(regs[r]) for r in inst.srcs):
+                    label = INPUT_DIVERGENT
+                    break
+                _transfer_inst(pc, inst, regs, nctx)
+                if inst.dst is not None and _is_varying(regs[inst.dst]):
+                    label = INPUT_DIVERGENT
+                    break
+        classes.append(label)
+        weights[label] += weight(block.bid)
+
+    merge_upper = 1.0
+    if unmergeable:
+        blocked = sum(weight(b) for b in unmergeable & reachable)
+        merge_upper = max(0.0, 1.0 - blocked / total_weight)
+
+    # ------------------------------------------------------ exit register set
+    exits = [b.bid for b in cfg.blocks if not b.succs and b.bid in reachable]
+    must_differ: set[int] = set()
+    if exits and nctx > 1:
+        for reg in range(num_regs):
+            taints = [block_out[e][reg] for e in exits]
+            if all(_is_diff(t) for t in taints):
+                must_differ.add(reg)
+    rst_upper = 1.0 - len(must_differ) / num_regs
+
+    return OracleReport(
+        name=name,
+        nctx=nctx,
+        block_classes=classes,
+        identical_fraction=weights[IDENTICAL] / total_weight,
+        input_divergent_fraction=weights[INPUT_DIVERGENT] / total_weight,
+        control_divergent_fraction=weights[CONTROL_DIVERGENT] / total_weight,
+        merge_upper_bound=merge_upper,
+        rst_upper_bound=rst_upper,
+        must_diverge_branches=sorted(must_diverge),
+        may_diverge_branches=sorted(may_diverge),
+        diverging_exit_regs=frozenset(must_differ),
+    )
+
+
+def analyze_build(build: WorkloadBuild) -> OracleReport:
+    """Oracle report for a generated single/multi-context workload build."""
+    sp_divergent = build.profile.wtype is WorkloadType.MULTI_THREADED
+    return analyze_program(
+        build.program, build.nctx, sp_divergent=sp_divergent
+    )
+
+
+def analyze_mp_build(build: MPWorkloadBuild) -> OracleReport:
+    """Oracle report for a generated message-passing workload build."""
+    return analyze_program(build.program, build.nctx, sp_divergent=False)

@@ -238,6 +238,74 @@ def _trace(args) -> int:
     return 0 if not mismatches else 1
 
 
+# ----------------------------------------------------------------- analyze
+def _analyze(args) -> int:
+    """Static analysis of guest workloads: lint + redundancy oracle."""
+    from repro.analysis import lint_program
+    from repro.analysis.redundancy import analyze_build, analyze_mp_build
+    from repro.workloads.generator import build_workload
+    from repro.workloads.message_passing import PATTERNS, build_mp_workload
+    from repro.workloads.profiles import APP_ORDER, get_profile
+
+    apps = list(APP_ORDER) if args.all_workloads else (
+        args.apps or list(APP_ORDER)
+    )
+    suppress = tuple(args.suppress or ())
+    thread_counts = args.threads
+    targets = []  # (label, build, is_mp)
+    for app in apps:
+        profile = get_profile(app)
+        for threads in thread_counts:
+            targets.append(
+                (f"{app}/{threads}t",
+                 build_workload(profile, threads, scale=args.scale), False)
+            )
+    if args.all_workloads:
+        for pattern in PATTERNS:
+            for threads in thread_counts:
+                if threads < 2:
+                    continue
+                targets.append(
+                    (f"mp-{pattern}/{threads}t",
+                     build_mp_workload(threads, pattern=pattern), True)
+                )
+
+    rows = []
+    all_diags = []
+    for label, build, is_mp in targets:
+        try:
+            diags = lint_program(build.program, suppress=suppress)
+        except ValueError as exc:  # unknown suppression rule
+            print(f"error: {exc}")
+            return 2
+        oracle = analyze_mp_build(build) if is_mp else analyze_build(build)
+        rows.append({
+            "workload": label,
+            "insts": len(build.program),
+            "diags": len(diags),
+            "identical": oracle.identical_fraction,
+            "input_div": oracle.input_divergent_fraction,
+            "control_div": oracle.control_divergent_fraction,
+            "merge_ub": oracle.merge_upper_bound,
+            "rst_ub": oracle.rst_upper_bound,
+        })
+        all_diags.extend((label, d) for d in diags)
+    print(report.format_table(
+        rows,
+        columns=["workload", "insts", "diags", "identical", "input_div",
+                 "control_div", "merge_ub", "rst_ub"],
+        title=f"Static analysis — {len(targets)} workload(s)"
+              + (f", suppressed: {', '.join(suppress)}" if suppress else ""),
+    ))
+    for label, diag in all_diags:
+        print(f"{label}: {diag}")
+    if all_diags:
+        print(f"\n{len(all_diags)} unsuppressed diagnostic(s)")
+        return 1
+    print("\nall workloads lint clean")
+    return 0
+
+
 # ---------------------------------------------------------------- campaign
 def _hang_forever() -> None:  # pragma: no cover - killed by the timeout
     while True:
@@ -282,6 +350,14 @@ def _campaign(args) -> int:
                                    args.threads[0], scale=args.scale,
                                    tag="livelock")
         )
+    # Static lint gate: a broken workload fails here in milliseconds
+    # instead of wedging a fleet of worker processes.
+    try:
+        experiment.lint_campaign_jobs(jobs, cache_dir=args.cache_dir,
+                                      progress=print)
+    except experiment.WorkloadLintError as exc:
+        print(f"campaign aborted: {exc}")
+        return 2
     result = run_campaign(
         jobs,
         demo_runner,
@@ -381,10 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["list", "campaign", "trace"],
+        choices=sorted(TARGETS) + ["analyze", "list", "campaign", "trace"],
         help="which table/figure to regenerate ('list' to enumerate; "
         "'campaign' runs a parallel batch sweep; 'trace' runs one point "
-        "with event tracing and interval metrics)",
+        "with event tracing and interval metrics; 'analyze' statically "
+        "lints workloads and reports redundancy-oracle bounds)",
     )
     parser.add_argument(
         "--scale",
@@ -474,6 +551,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for flight-recorder dumps of failed/hung jobs "
         "(default .repro-flight; pass '' to disable)",
     )
+    analyze = parser.add_argument_group("analyze target")
+    analyze.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="analyze every built-in app plus the message-passing patterns",
+    )
+    analyze.add_argument(
+        "--suppress",
+        nargs="*",
+        default=None,
+        metavar="RULE",
+        help="lint rule ids to suppress (see docs/static-analysis.md)",
+    )
     trace = parser.add_argument_group("trace target")
     trace.add_argument(
         "--config",
@@ -505,11 +595,15 @@ def main(argv=None) -> int:
               "result caching")
         print(f"{'trace'.ljust(width)}  one observed run: events, interval "
               "metrics, Perfetto export")
+        print(f"{'analyze'.ljust(width)}  static workload lint + redundancy "
+              "oracle bounds")
         return 0
     if args.target == "campaign":
         return _campaign(args)
     if args.target == "trace":
         return _trace(args)
+    if args.target == "analyze":
+        return _analyze(args)
     if args.workers:
         figures.prefetch_figure(
             args.target, apps=args.apps, scale=args.scale,

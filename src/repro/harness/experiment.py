@@ -15,10 +15,13 @@ free.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import MMTConfig
 from repro.harness.campaign import (
+    DEFAULT_CACHE_DIR,
     CampaignResult,
     run_campaign,
 )
@@ -251,6 +254,64 @@ def trace_run(
     return result, obs
 
 
+class WorkloadLintError(RuntimeError):
+    """A campaign workload failed the pre-dispatch static lint."""
+
+    def __init__(self, name: str, diagnostics: list) -> None:
+        lines = "\n".join(f"  {d}" for d in diagnostics)
+        super().__init__(
+            f"workload {name!r} failed static lint "
+            f"({len(diagnostics)} diagnostic(s)):\n{lines}"
+        )
+        self.name = name
+        self.diagnostics = diagnostics
+
+
+def lint_campaign_jobs(jobs, cache_dir=None, progress=None) -> int:
+    """Statically lint every distinct workload a campaign will run.
+
+    Each distinct ``(app, threads, scale)`` triple is built once and its
+    program linted; a clean verdict is content-addressed on
+    :meth:`~repro.isa.program.Program.digest` under ``<cache>/lint/`` so
+    repeat campaigns skip the analysis entirely.  Any diagnostic aborts
+    dispatch with :class:`WorkloadLintError` — a workload-generator bug
+    should fail in milliseconds here, not wedge a fleet of simulations.
+
+    Returns the number of programs actually linted (cache misses).
+    Non-:class:`CampaignJob` entries (custom test jobs) are skipped.
+    """
+    from repro.analysis.lint import lint_program
+
+    root = Path(
+        cache_dir
+        if cache_dir is not None
+        else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    ) / "lint"
+    emit = progress if callable(progress) else (lambda line: None)
+    seen: set[tuple[str, int, float]] = set()
+    fresh = 0
+    for job in jobs:
+        if not isinstance(job, CampaignJob):
+            continue
+        key = (job.app, job.threads, job.scale)
+        if key in seen:
+            continue
+        seen.add(key)
+        build = build_workload(get_profile(job.app), job.threads, scale=job.scale)
+        marker = root / f"{build.program.digest()}.ok"
+        if marker.exists():
+            emit(f"lint {build.program.name}: cached ok")
+            continue
+        diagnostics = lint_program(build.program)
+        if diagnostics:
+            raise WorkloadLintError(build.program.name, diagnostics)
+        fresh += 1
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("ok\n")
+        emit(f"lint {build.program.name}: ok")
+    return fresh
+
+
 def run_points(
     points,
     *,
@@ -262,6 +323,7 @@ def run_points(
     campaign_seed: int = 0,
     progress=None,
     failure_dump_dir=None,
+    lint: bool = True,
 ) -> CampaignResult:
     """Run many simulation points in parallel and seed the in-memory memo.
 
@@ -270,11 +332,18 @@ def run_points(
     After this returns, a serial :func:`run_app` call for any successful
     point is a memo hit — which is how the figure regenerators and the
     benchmark drivers get their parallelism without restructuring.
+
+    Unless *lint* is disabled, every distinct workload is statically
+    linted (content-addressed, so effectively free after the first run)
+    before any job dispatches; see :func:`lint_campaign_jobs`.
     """
     jobs = [
         point if isinstance(point, CampaignJob) else CampaignJob(*point)
         for point in points
     ]
+    if lint:
+        cache_root = getattr(cache, "root", None) if cache is not None else None
+        lint_campaign_jobs(jobs, cache_dir=cache_root, progress=progress)
     result = run_campaign(
         jobs,
         simulate_job,

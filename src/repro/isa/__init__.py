@@ -1,6 +1,6 @@
 """The repro RISC ISA: opcodes, registers, instructions, programs, assembler."""
 
-from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.assembler import AssemblerError, AssemblyError, assemble
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass, Opcode, op_class
 from repro.isa.program import INST_BYTES, WORD_SIZE, Program
@@ -20,6 +20,7 @@ from repro.isa.registers import (
 
 __all__ = [
     "AssemblerError",
+    "AssemblyError",
     "assemble",
     "Instruction",
     "OpClass",

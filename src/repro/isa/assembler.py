@@ -102,6 +102,19 @@ class AssemblerError(ValueError):
         self.lineno = lineno
 
 
+class AssemblyError(AssemblerError):
+    """A symbol-resolution failure: undefined or duplicated label.
+
+    Carries the offending ``symbol`` in addition to the line number so
+    callers (and tests) can react structurally instead of parsing the
+    message.
+    """
+
+    def __init__(self, lineno: int, symbol: str, message: str) -> None:
+        super().__init__(lineno, message)
+        self.symbol = symbol
+
+
 def _parse_int(text: str, lineno: int) -> int:
     text = text.strip()
     lowered = text.lower()
@@ -164,7 +177,7 @@ def assemble(source: str, name: str = "program") -> Program:
                 break
             label = match.group(1)
             if label in labels or label in symbols:
-                raise AssemblerError(lineno, f"duplicate label {label!r}")
+                raise AssemblyError(lineno, label, f"duplicate label {label!r}")
             if in_data:
                 symbols[label] = data_cursor
             else:
@@ -234,8 +247,12 @@ def _encode(
 
     # Pseudo-instructions.
     if mnemonic == "la":
-        if len(operands) != 2 or operands[1] not in symbols:
+        if len(operands) != 2:
             raise AssemblerError(lineno, "la expects: la rX, data_symbol")
+        if operands[1] not in symbols:
+            raise AssemblyError(
+                lineno, operands[1], f"undefined data symbol {operands[1]!r}"
+            )
         return Instruction(Opcode.LI, rd=parse_reg(operands[0]), imm=symbols[operands[1]])
     if mnemonic == "mv":
         if len(operands) != 2:
@@ -244,8 +261,12 @@ def _encode(
             Opcode.ADDI, rd=parse_reg(operands[0]), rs1=parse_reg(operands[1]), imm=0
         )
     if mnemonic == "call":
-        if len(operands) != 1 or operands[0] not in labels:
+        if len(operands) != 1:
             raise AssemblerError(lineno, "call expects a code label")
+        if operands[0] not in labels:
+            raise AssemblyError(
+                lineno, operands[0], f"undefined label {operands[0]!r}"
+            )
         return Instruction(Opcode.JAL, rd=RA, target=labels[operands[0]])
     if mnemonic == "ret":
         return Instruction(Opcode.JR, rs1=RA)
@@ -256,8 +277,12 @@ def _encode(
         raise AssemblerError(lineno, f"unknown mnemonic {mnemonic!r}") from None
     fmt = _FORMATS[op]
     if op in (Opcode.J, Opcode.JAL):
-        if len(operands) != 1 or operands[0] not in labels:
+        if len(operands) != 1:
             raise AssemblerError(lineno, f"{mnemonic} expects a code label")
+        if operands[0] not in labels:
+            raise AssemblyError(
+                lineno, operands[0], f"undefined label {operands[0]!r}"
+            )
         rd = RA if op is Opcode.JAL else None
         return Instruction(op, rd=rd, target=labels[operands[0]])
 
@@ -283,7 +308,7 @@ def _encode(
             regs.append(parse_reg(match.group("base")))
         elif kind == "L":
             if token not in labels:
-                raise AssemblerError(lineno, f"undefined label {token!r}")
+                raise AssemblyError(lineno, token, f"undefined label {token!r}")
             target = labels[token]
 
     if op in (Opcode.SW, Opcode.FSW):

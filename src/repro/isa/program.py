@@ -10,6 +10,7 @@ values; the memory model is value-level, one Python scalar per 8-byte word.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping
 
 from repro.isa.instruction import Instruction
@@ -68,6 +69,24 @@ class Program:
     def symbol(self, name: str) -> int:
         """Byte address of data symbol *name*."""
         return self.symbols[name]
+
+    def digest(self) -> str:
+        """Content hash of the full image (code, data, entry).
+
+        Two programs with the same digest are behaviourally identical, so
+        per-program artefacts (lint verdicts, analysis reports) can be
+        content-addressed on it, independent of the program *name*.
+        """
+        h = hashlib.sha256()
+        for inst in self.instructions:
+            h.update(
+                repr(
+                    (inst.op.value, inst.rd, inst.rs1, inst.rs2, inst.imm, inst.target)
+                ).encode()
+            )
+        h.update(repr(sorted(self.data.items())).encode())
+        h.update(repr(self.entry).encode())
+        return h.hexdigest()
 
     def with_data(self, extra: Mapping[int, int | float]) -> "Program":
         """Return a copy of this program with *extra* merged into the data image.

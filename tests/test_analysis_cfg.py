@@ -1,0 +1,216 @@
+"""CFG construction, dominators, and dataflow solvers on known graphs."""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import (
+    ENTRY_DEF,
+    DataflowDivergence,
+    liveness,
+    reaching_definitions,
+    solve,
+)
+from repro.analysis.dom import (
+    VIRTUAL_EXIT,
+    dominates,
+    dominators,
+    loop_depths,
+    natural_loops,
+    postdominators,
+)
+from repro.isa.assembler import assemble
+from repro.isa.registers import SP, ZERO
+
+DIAMOND = """
+    li r1, 1
+    beq r1, r0, Lelse
+    li r2, 10
+    j Lend
+Lelse:
+    li r3, 20
+Lend:
+    add r4, r2, r3
+    halt
+"""
+
+LOOP = """
+    li r1, 0
+    li r2, 4
+Lloop:
+    addi r1, r1, 1
+    blt r1, r2, Lloop
+    halt
+"""
+
+UNREACHABLE = """
+    j Lend
+    li r1, 1
+Lend:
+    halt
+"""
+
+
+def cfg_of(source):
+    return CFG.from_program(assemble(source))
+
+
+# -------------------------------------------------------------------- CFG
+def test_diamond_blocks_and_edges():
+    cfg = cfg_of(DIAMOND)
+    # [li,beq] [li,j] [li(Lelse)] [add,halt]
+    assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 4), (4, 5), (5, 7)]
+    assert cfg.blocks[0].succs == [2, 1]  # taken target first, then fall-through
+    assert cfg.blocks[1].succs == [3]
+    assert cfg.blocks[2].succs == [3]
+    assert cfg.blocks[3].succs == []
+    assert sorted(cfg.blocks[3].preds) == [1, 2]
+    assert cfg.reachable() == {0, 1, 2, 3}
+    assert not cfg.falls_off_end
+
+
+def test_loop_back_edge_and_reachability():
+    cfg = cfg_of(LOOP)
+    assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 4), (4, 5)]
+    assert 1 in cfg.blocks[1].succs  # back edge to itself
+    assert cfg.reachable() == {0, 1, 2}
+
+
+def test_unreachable_block_detected():
+    cfg = cfg_of(UNREACHABLE)
+    assert cfg.reachable() == {0, 2}
+    assert dominators(cfg)[1] is None
+
+
+def test_jr_successors_are_return_sites():
+    cfg = cfg_of(
+        """
+    jal Lfn
+    halt
+Lfn:
+    jr ra
+"""
+    )
+    ret_block = cfg.block_of[cfg.instructions.index(cfg.instructions[-1])]
+    # The jr's only successor is the instruction after the jal.
+    assert cfg.blocks[ret_block].succs == [cfg.block_of[1]]
+
+
+def test_empty_program():
+    cfg = CFG([])
+    assert len(cfg) == 0
+    assert cfg.reachable() == set()
+
+
+# ------------------------------------------------------------- dominators
+def test_diamond_dominators():
+    cfg = cfg_of(DIAMOND)
+    idom = dominators(cfg)
+    assert idom[0] == 0
+    assert idom[1] == 0 and idom[2] == 0 and idom[3] == 0
+    assert dominates(idom, 0, 3)
+    assert not dominates(idom, 1, 3)  # join point is not dominated by a side
+
+
+def test_diamond_postdominators():
+    cfg = cfg_of(DIAMOND)
+    ipdom = postdominators(cfg)
+    assert ipdom[0] == 3  # the join block postdominates the branch
+    assert ipdom[1] == 3 and ipdom[2] == 3
+    assert ipdom[3] == VIRTUAL_EXIT
+
+
+def test_loop_detection_and_depths():
+    cfg = cfg_of(LOOP)
+    loops = natural_loops(cfg)
+    assert len(loops) == 1
+    header, body = loops[0]
+    assert header == 1 and body == frozenset({1})
+    assert loop_depths(cfg) == [0, 1, 0]
+
+
+def test_diamond_has_no_loops():
+    assert natural_loops(cfg_of(DIAMOND)) == []
+
+
+# --------------------------------------------------------------- dataflow
+def test_reaching_definitions_diamond():
+    cfg = cfg_of(DIAMOND)
+    rd = reaching_definitions(cfg)
+    add_pc = 5
+    assert rd.defs_of(add_pc, 2) == frozenset({(2, 2)})
+    assert rd.defs_of(add_pc, 3) == frozenset({(4, 3)})
+    # Entry pseudo-defs for the hardware-initialised registers.
+    assert (ENTRY_DEF, SP) in rd.at(0)
+    assert (ENTRY_DEF, ZERO) in rd.at(0)
+
+
+def test_reaching_definitions_loop_sees_both_defs():
+    cfg = cfg_of(LOOP)
+    rd = reaching_definitions(cfg)
+    addi_pc = 2
+    # Both the init (pc 0) and the back-edge redefinition (pc 2) reach.
+    assert rd.defs_of(addi_pc, 1) == frozenset({(0, 1), (2, 1)})
+
+
+def test_liveness_diamond():
+    cfg = cfg_of(DIAMOND)
+    lv = liveness(cfg)
+    # After the branch resolves, r2 and r3 are both live (read at the join).
+    assert {2, 3} <= set(lv.live_after(1))
+    # Nothing is live after halt.
+    assert lv.live_out[3] == frozenset()
+    # r4 dies immediately: no reader.
+    assert 4 not in lv.live_after(5)
+
+
+def test_liveness_loop_keeps_counter_live():
+    cfg = cfg_of(LOOP)
+    lv = liveness(cfg)
+    assert {1, 2} <= set(lv.live_in[1])  # counter and bound live around the loop
+
+
+def test_unreachable_block_states_stay_bottom():
+    cfg = cfg_of(UNREACHABLE)
+    rd = reaching_definitions(cfg)
+    assert rd.block_in[1] == frozenset()
+
+
+# --------------------------------------------------------- convergence cap
+def test_solver_raises_on_non_monotone_transfer():
+    cfg = cfg_of(LOOP)
+    with pytest.raises(DataflowDivergence):
+        solve(
+            cfg,
+            direction="forward",
+            boundary=0,
+            init=0,
+            # Strictly increasing state never reaches a fixpoint.
+            transfer=lambda bid, s: s + 1,
+            join=max,
+        )
+
+
+def test_solver_cap_is_configurable():
+    cfg = cfg_of(DIAMOND)
+    with pytest.raises(DataflowDivergence, match="exceeded 2"):
+        solve(
+            cfg,
+            direction="forward",
+            boundary=0,
+            init=0,
+            transfer=lambda bid, s: s + 1,
+            join=max,
+            max_iterations=2,
+        )
+
+
+def test_solver_rejects_unknown_direction():
+    with pytest.raises(ValueError):
+        solve(
+            cfg_of(DIAMOND),
+            direction="sideways",
+            boundary=0,
+            init=0,
+            transfer=lambda bid, s: s,
+            join=max,
+        )

@@ -1,0 +1,190 @@
+"""Guest linter: every rule fires on a crafted program, suppression works."""
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_instructions, lint_program
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import FP_BASE
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+def test_clean_program_has_no_diagnostics():
+    prog = assemble(
+        """
+    li r1, 1
+    addi r2, r1, 3
+    sw r2, 0(sp)
+    halt
+"""
+    )
+    assert lint_program(prog) == []
+
+
+def test_bad_target_missing_and_out_of_range():
+    diags = lint_instructions(
+        [
+            Instruction(Opcode.J),  # no target at all
+            Instruction(Opcode.BEQ, rs1=1, rs2=2, target=99),
+            Instruction(Opcode.HALT),
+        ]
+    )
+    bad = [d for d in diags if d.rule == "bad-target"]
+    assert [d.pc for d in bad] == [0, 1]
+    assert all(d.severity == "error" for d in bad)
+
+
+def test_fall_off_end():
+    diags = lint_instructions([Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1)])
+    assert "fall-off-end" in rules_of(diags)
+
+
+def test_infinite_loop_no_exit():
+    prog = assemble("Lspin: j Lspin\nhalt")
+    diags = lint_program(prog)
+    assert "infinite-loop" in rules_of(diags)
+    # The halt after the spin is dead code too.
+    assert "unreachable-block" in rules_of(diags)
+
+
+def test_loop_with_exit_edge_is_fine():
+    prog = assemble(
+        """
+    li r1, 0
+    li r2, 4
+Lloop:
+    addi r1, r1, 1
+    blt r1, r2, Lloop
+    halt
+"""
+    )
+    assert lint_program(prog) == []
+
+
+def test_spin_on_halt_is_not_flagged():
+    # A cycle containing HALT terminates; common in spin-until-done code.
+    prog = assemble("Lspin: halt\nj Lspin")
+    diags = lint_program(prog)
+    assert "infinite-loop" not in rules_of(diags)
+
+
+def test_undef_read_warning():
+    prog = assemble("add r1, r2, r3\nhalt")
+    diags = lint_program(prog)
+    undef = [d for d in diags if d.rule == "undef-read"]
+    assert len(undef) == 2  # r2 and r3
+    assert all(d.severity == "warning" for d in undef)
+    assert all(d.pc == 0 for d in undef)
+
+
+def test_defined_on_one_path_is_not_undef():
+    # Reaching-defs is a may-analysis: one defining path suffices.
+    prog = assemble(
+        """
+    beq r0, r0, Ldef
+    j Luse
+Ldef:
+    li r1, 5
+Luse:
+    add r2, r1, r1
+    halt
+"""
+    )
+    assert "undef-read" not in rules_of(lint_program(prog))
+
+
+def test_store_undef_base():
+    prog = assemble("li r1, 4\nsw r1, 0(r5)\nhalt")
+    diags = lint_program(prog)
+    store = [d for d in diags if d.rule == "store-undef-base"]
+    assert len(store) == 1 and store[0].pc == 1
+    assert store[0].severity == "error"
+
+
+def test_sp_relative_store_is_fine():
+    prog = assemble("li r1, 4\nsw r1, 0(sp)\nhalt")
+    assert lint_program(prog) == []
+
+
+def test_reg_class_fp_in_int_op():
+    diags = lint_instructions(
+        [
+            Instruction(Opcode.ADD, rd=1, rs1=2, rs2=FP_BASE + 3),
+            Instruction(Opcode.HALT),
+        ]
+    )
+    assert "reg-class" in rules_of(diags)
+
+
+def test_reg_class_int_in_fp_op():
+    diags = lint_instructions(
+        [
+            Instruction(Opcode.FADD, rd=FP_BASE, rs1=FP_BASE + 1, rs2=2),
+            Instruction(Opcode.HALT),
+        ]
+    )
+    assert "reg-class" in rules_of(diags)
+
+
+def test_reg_class_missing_operand_and_missing_imm():
+    diags = lint_instructions(
+        [
+            Instruction(Opcode.ADD, rd=1, rs1=2),  # no rs2
+            Instruction(Opcode.LI, rd=3),  # no immediate
+            Instruction(Opcode.HALT),
+        ]
+    )
+    per_pc = {}
+    for d in diags:
+        per_pc.setdefault(d.pc, set()).add(d.rule)
+    assert "reg-class" in per_pc[0]
+    assert "reg-class" in per_pc[1]
+
+
+def test_reg_class_spurious_operand():
+    diags = lint_instructions(
+        [Instruction(Opcode.NOP, rd=1), Instruction(Opcode.HALT)]
+    )
+    assert "reg-class" in rules_of(diags)
+
+
+def test_unreachable_block_warning():
+    prog = assemble("j Lend\nli r1, 1\nLend: halt")
+    diags = lint_program(prog)
+    unreachable = [d for d in diags if d.rule == "unreachable-block"]
+    assert len(unreachable) == 1 and unreachable[0].pc == 1
+
+
+# ------------------------------------------------------------- suppression
+def test_suppression_removes_rule():
+    prog = assemble("add r1, r2, r3\nhalt")
+    assert lint_program(prog, suppress=("undef-read",)) == []
+    assert lint_program(prog) != []
+
+
+def test_suppression_is_per_rule():
+    prog = assemble("add r1, r2, r3\nj Lend\nli r4, 1\nLend: halt")
+    diags = lint_program(prog, suppress=("unreachable-block",))
+    assert rules_of(diags) == {"undef-read"}
+
+
+def test_unknown_suppression_rejected():
+    prog = assemble("halt")
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        lint_program(prog, suppress=("no-such-rule",))
+
+
+def test_diagnostics_are_structured_and_ordered():
+    prog = assemble("add r1, r2, r3\nj Lend\nli r4, 1\nLend: halt")
+    diags = lint_program(prog)
+    assert [d.pc for d in diags] == sorted(d.pc for d in diags)
+    for d in diags:
+        assert d.rule in RULES
+        assert d.severity in ("error", "warning")
+        assert isinstance(d.block, int)
+        assert d.message
+        assert str(d.pc) in str(d)

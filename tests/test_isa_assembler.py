@@ -128,3 +128,64 @@ def test_error_carries_line_number():
 def test_multiple_labels_one_line():
     prog = assemble("a: b: nop\nj a\nj b\nhalt")
     assert prog.label("a") == prog.label("b") == 0
+
+
+# --------------------------------------------------- structured AssemblyError
+def test_duplicate_label_raises_assembly_error_with_symbol():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("nop\nx: nop\nx: halt")
+    assert excinfo.value.symbol == "x"
+    assert excinfo.value.lineno == 3
+    assert "duplicate" in str(excinfo.value)
+
+
+def test_duplicate_data_symbol_raises_assembly_error():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(".data 0x100\nbuf: .word 1\nbuf: .word 2")
+    assert excinfo.value.symbol == "buf"
+
+
+def test_undefined_branch_label_carries_symbol_and_line():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("nop\nbeq r1, r2, nowhere\nhalt")
+    assert excinfo.value.symbol == "nowhere"
+    assert excinfo.value.lineno == 2
+
+
+def test_undefined_jump_label_carries_symbol():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("j missing")
+    assert excinfo.value.symbol == "missing"
+
+
+def test_undefined_call_label_carries_symbol():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("call helper\nhalt")
+    assert excinfo.value.symbol == "helper"
+
+
+def test_undefined_la_symbol_carries_symbol():
+    from repro.isa.assembler import AssemblyError
+
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("la r1, ghost\nhalt")
+    assert excinfo.value.symbol == "ghost"
+
+
+def test_assembly_error_is_an_assembler_error():
+    from repro.isa.assembler import AssemblyError
+
+    # Existing except AssemblerError / except ValueError handlers still catch
+    # the new structured subclass.
+    assert issubclass(AssemblyError, AssemblerError)
+    assert issubclass(AssemblyError, ValueError)

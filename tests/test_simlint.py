@@ -1,0 +1,165 @@
+"""Determinism lint for the simulator source (tools/simlint.py).
+
+Two halves: the real simulator core must lint clean, and each rule must
+demonstrably fire on a seeded violation (ISSUE acceptance criterion).
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SIMLINT = REPO / "tools" / "simlint.py"
+
+_spec = importlib.util.spec_from_file_location("simlint", SIMLINT)
+simlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(simlint)
+
+
+def findings_for(tmp_path, source, all_rules=True):
+    file = tmp_path / "snippet.py"
+    file.write_text(source)
+    return simlint.lint_paths([file], all_rules=all_rules)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ------------------------------------------------------------- clean source
+def test_simulator_core_is_clean():
+    findings = simlint.lint_paths([REPO / "src" / "repro"])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_cli_reports_clean_and_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, str(SIMLINT), "src/repro"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+# -------------------------------------------------------- seeded violations
+def test_sim001_wallclock(tmp_path):
+    findings = findings_for(
+        tmp_path, "import time\n\ndef f():\n    return time.time()\n"
+    )
+    assert rules_of(findings) == {"SIM001"}
+
+
+def test_sim001_perf_counter_and_datetime(tmp_path):
+    findings = findings_for(
+        tmp_path,
+        "import time, datetime\n"
+        "a = time.perf_counter()\n"
+        "b = datetime.datetime.now()\n",
+    )
+    assert [f.rule for f in findings] == ["SIM001", "SIM001"]
+
+
+def test_sim002_module_random(tmp_path):
+    findings = findings_for(
+        tmp_path, "import random\nx = random.randint(0, 7)\n"
+    )
+    assert rules_of(findings) == {"SIM002"}
+
+
+def test_sim002_from_import(tmp_path):
+    findings = findings_for(tmp_path, "from random import shuffle\n")
+    assert rules_of(findings) == {"SIM002"}
+
+
+def test_sim002_seeded_rng_is_allowed(tmp_path):
+    findings = findings_for(
+        tmp_path,
+        "import random\nrng = random.Random(42)\nx = rng.randint(0, 7)\n",
+    )
+    assert findings == []
+
+
+def test_sim003_set_iteration(tmp_path):
+    findings = findings_for(
+        tmp_path, "for item in {1, 2, 3}:\n    print(item)\n"
+    )
+    assert rules_of(findings) == {"SIM003"}
+
+
+def test_sim003_comprehension_over_set_call(tmp_path):
+    findings = findings_for(tmp_path, "xs = [v for v in set([1, 2])]\n")
+    assert rules_of(findings) == {"SIM003"}
+
+
+def test_sim003_sorted_wrapper_is_allowed(tmp_path):
+    findings = findings_for(
+        tmp_path, "for item in sorted({1, 2, 3}):\n    print(item)\n"
+    )
+    assert findings == []
+
+
+def test_sim004_unguarded_emit(tmp_path):
+    findings = findings_for(
+        tmp_path, "def f(self):\n    self.obs.emit('event', 1)\n"
+    )
+    assert rules_of(findings) == {"SIM004"}
+
+
+def test_sim004_guarded_emit_is_allowed(tmp_path):
+    findings = findings_for(
+        tmp_path,
+        "def f(self):\n"
+        "    if self.obs.tracing:\n"
+        "        self.obs.emit('event', 1)\n",
+    )
+    assert findings == []
+
+
+def test_sim004_guard_must_cover_the_emit(tmp_path):
+    findings = findings_for(
+        tmp_path,
+        "def f(self):\n"
+        "    if self.obs.tracing:\n"
+        "        pass\n"
+        "    self.obs.emit('event', 1)\n",
+    )
+    assert rules_of(findings) == {"SIM004"}
+
+
+def test_ignore_marker_suppresses(tmp_path):
+    findings = findings_for(
+        tmp_path, "import time\nt = time.time()  # simlint: ignore\n"
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------- scoping
+def test_out_of_scope_files_skipped_without_all_rules(tmp_path):
+    file = tmp_path / "helper.py"
+    file.write_text("import time\nt = time.time()\n")
+    assert simlint.lint_paths([file]) == []
+    assert simlint.lint_paths([file], all_rules=True) != []
+
+
+def test_scoped_path_fragments_are_checked(tmp_path):
+    scoped = tmp_path / "repro" / "pipeline"
+    scoped.mkdir(parents=True)
+    file = scoped / "stage.py"
+    file.write_text("import time\nt = time.time()\n")
+    findings = simlint.lint_paths([tmp_path])
+    assert rules_of(findings) == {"SIM001"}
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, str(SIMLINT), "--all-rules", str(bad)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "SIM001" in proc.stdout
