@@ -14,6 +14,10 @@ Public surface:
 * :func:`~repro.analysis.redundancy.analyze_program` /
   :func:`~repro.analysis.redundancy.analyze_build` and the
   :class:`~repro.analysis.redundancy.OracleReport` they return
+* :func:`~repro.analysis.values.analyze_values_cfg`, the value-level
+  fixpoint (intervals, value numbers, loop-uniformity widening) the
+  oracle is built on, with its :class:`~repro.analysis.values.MemoryModel`
+  and :class:`~repro.analysis.values.ValueAnalysis` results
 """
 
 from repro.analysis.cfg import CFG, BasicBlock
@@ -21,8 +25,10 @@ from repro.analysis.dataflow import (
     ENTRY_DEF,
     DataflowDivergence,
     Liveness,
+    MustDefined,
     ReachingDefs,
     liveness,
+    must_defined,
     reaching_definitions,
     solve,
 )
@@ -45,8 +51,16 @@ from repro.analysis.redundancy import (
     OracleReport,
     analyze_build,
     analyze_cfg,
+    analyze_limit_build,
     analyze_mp_build,
     analyze_program,
+)
+from repro.analysis.values import (
+    LoadClass,
+    MemoryModel,
+    ValueAnalysis,
+    ValueAnalysisDivergence,
+    analyze_values_cfg,
 )
 
 __all__ = [
@@ -55,8 +69,10 @@ __all__ = [
     "ENTRY_DEF",
     "DataflowDivergence",
     "Liveness",
+    "MustDefined",
     "ReachingDefs",
     "liveness",
+    "must_defined",
     "reaching_definitions",
     "solve",
     "VIRTUAL_EXIT",
@@ -73,6 +89,12 @@ __all__ = [
     "OracleReport",
     "analyze_build",
     "analyze_cfg",
+    "analyze_limit_build",
     "analyze_mp_build",
     "analyze_program",
+    "LoadClass",
+    "MemoryModel",
+    "ValueAnalysis",
+    "ValueAnalysisDivergence",
+    "analyze_values_cfg",
 ]

@@ -7,11 +7,13 @@ value.  The solver is direction-agnostic (``forward`` / ``backward``) and
 enforces a convergence-iteration cap so a buggy (non-monotone) transfer
 function raises :class:`DataflowDivergence` instead of spinning forever.
 
-Two standard instances are provided:
+Three standard instances are provided:
 
 * :func:`reaching_definitions` — forward, may; definitions are
   ``(pc, reg)`` pairs, with ``pc == ENTRY_DEF`` marking registers defined
   by the hardware before the first instruction.
+* :func:`must_defined` — forward, must; registers written on *every*
+  path from the entry (intersection join over an optimistic start).
 * :func:`liveness` — backward, may; live architected registers per block
   boundary.
 
@@ -25,7 +27,7 @@ from collections.abc import Callable, Iterable
 from typing import TypeVar
 
 from repro.analysis.cfg import CFG
-from repro.isa.registers import SP, ZERO
+from repro.isa.registers import NUM_ARCH_REGS, SP, ZERO
 
 S = TypeVar("S")
 
@@ -183,6 +185,70 @@ def reaching_definitions(
         max_iterations=max_iterations,
     )
     return ReachingDefs(cfg, block_in, block_out)
+
+
+# ------------------------------------------------------------- must-defined
+class MustDefined:
+    """Registers written on *every* path from the entry, per point."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        block_in: list[frozenset[int]],
+        block_out: list[frozenset[int]],
+    ) -> None:
+        self.cfg = cfg
+        self.block_in = block_in
+        self.block_out = block_out
+
+    def at(self, pc: int) -> frozenset[int]:
+        """Registers defined on every path reaching *pc* (before it runs)."""
+        bid = self.cfg.block_of[pc]
+        state = set(self.block_in[bid])
+        for earlier in range(self.cfg.blocks[bid].start, pc):
+            dst = self.cfg.instructions[earlier].dst
+            if dst is not None:
+                state.add(dst)
+        return frozenset(state)
+
+
+def must_defined(
+    cfg: CFG,
+    entry_regs: Iterable[int] = (ZERO, SP),
+    max_iterations: int | None = None,
+) -> MustDefined:
+    """Forward must-analysis: registers written on every entry-to-point path.
+
+    The dual of :func:`reaching_definitions`: intersection join over an
+    optimistic (all-registers) start, so the greatest fixpoint keeps
+    exactly the registers no path can reach the point without defining.
+    A register that reaching-definitions says *may* be defined but this
+    analysis says is not *must*-defined is conditionally undefined —
+    the ``undef-read-must`` lint rule's subject.
+    """
+    universe = frozenset(range(NUM_ARCH_REGS))
+    gen: list[frozenset[int]] = [
+        frozenset(
+            cfg.instructions[pc].dst
+            for pc in block.pcs()
+            if cfg.instructions[pc].dst is not None
+        )
+        for block in cfg.blocks
+    ]
+
+    def transfer(bid: int, state: frozenset[int]) -> frozenset[int]:
+        return state | gen[bid]
+
+    block_in, block_out = solve(
+        cfg,
+        direction="forward",
+        boundary=frozenset(entry_regs),
+        init=universe,
+        transfer=transfer,
+        join=lambda a, b: a & b,
+        max_iterations=max_iterations,
+    )
+    return MustDefined(cfg, block_in, block_out)
 
 
 # ------------------------------------------------------------------ liveness

@@ -19,8 +19,17 @@ rule id                   severity  fires on
 ``reg-class``             error     operand violates the opcode signature
 ``store-undef-base``      error     store base register never written
 ``undef-read``            warning   read with no reaching definition
+``undef-read-must``       warning   read *some* path reaches undefined
 ``unreachable-block``     warning   block unreachable from the entry
 ========================  ========  =====================================
+
+``undef-read`` is a may-analysis (it fires only when *no* path defines
+the register); ``undef-read-must`` is its must-analysis sharpening: it
+fires when at least one path reaches the read without a definition,
+catching conditionally-undefined reads — an if-branch that skips the
+initialisation — that the may-rule is structurally blind to.  The two
+rules partition the undefined-read space, so a single read never
+triggers both.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from __future__ import annotations
 from collections.abc import Collection, Sequence
 
 from repro.analysis.cfg import CFG
-from repro.analysis.dataflow import reaching_definitions
+from repro.analysis.dataflow import must_defined, reaching_definitions
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
@@ -45,6 +54,9 @@ RULES: dict[str, tuple[str, str]] = {
     "reg-class": (ERROR, "operand violates the opcode's register-class signature"),
     "store-undef-base": (ERROR, "store address base register is never written"),
     "undef-read": (WARNING, "register read with no reaching definition"),
+    "undef-read-must": (
+        WARNING, "register read that some path reaches with no definition"
+    ),
     "unreachable-block": (WARNING, "basic block unreachable from the entry"),
 }
 
@@ -264,13 +276,25 @@ def _check_reg_classes(cfg: CFG, emit) -> None:
 
 def _check_reaching(cfg: CFG, reachable: set[int], emit) -> None:
     rd = reaching_definitions(cfg, entry_regs=ENTRY_DEFINED)
+    md = must_defined(cfg, entry_regs=ENTRY_DEFINED)
     for block in cfg.blocks:
         if block.bid not in reachable:
             continue
         for pc in block.pcs():
             inst = cfg.instructions[pc]
+            must = None
             for reg in inst.srcs:
                 if rd.defs_of(pc, reg):
+                    if must is None:
+                        must = md.at(pc)
+                    if reg not in must:
+                        # Defined on some path (rd hit) but not on every
+                        # path: conditionally undefined.
+                        emit(
+                            "undef-read-must", pc,
+                            f"{inst.op.value} reads {reg_name(reg)}, which "
+                            "at least one path reaches with no definition",
+                        )
                     continue
                 if inst.is_store and reg == inst.rs1:
                     emit(

@@ -3,8 +3,9 @@
 MMT's fetch merge (PAPER.md §3) exploits that SPMD threads run the *same
 program image*: instructions merge whenever the threads sit at the same PC,
 and registers stay RST-shared while threads write identical values.  Both
-phenomena are statically predictable.  This module runs a thread-divergence
-taint analysis over a program's CFG and produces *sound upper bounds*:
+phenomena are statically predictable.  This module drives the value-level
+analysis of :mod:`repro.analysis.values` over a program's CFG and produces
+*sound upper bounds*:
 
 * ``merge_upper_bound`` — an upper bound on the dynamic fetch-merge
   fraction (``SimStats.mode_breakdown()["merge"]``).  Only *provable*
@@ -18,42 +19,44 @@ taint analysis over a program's CFG and produces *sound upper bounds*:
   ``sharing_fraction()``: registers whose exit value is a provably
   injective function of the thread id (e.g. ``tid`` itself, or the strided
   stack pointer) must end pairwise-different, so at most the remaining
-  registers can still be shared.
-
-The taint lattice is flat: ``BOT < {CLEAN(c), UNIFORM(site),
-DIFF(site, a, b)} < MAYBE``.  ``CLEAN(c)`` is a known constant (identical
-in every thread); ``UNIFORM(site)`` is an unknown value computed
-identically by all threads at one def site; ``DIFF(site, a, b)`` is the
-affine function ``a*tid + b`` (``a != 0``), or with ``a is b is None`` an
-unknown-but-injective function of ``tid``; ``MAYBE`` is anything else.
-Joining two unequal non-bottom taints yields ``MAYBE``, which keeps every
-must-claim path-insensitive and therefore valid even under thread-divergent
-control flow.  Affine arithmetic assumes no 64-bit wrap-around, which holds
-for the small thread counts and strides the generators emit
-(``a*tid + b`` stays far below ``2**63``).
+  registers can still be shared.  Loop-widened values (whose precision
+  assumes lockstep iteration counts) are excluded from this set.
+* ``lvip_hit_rate_upper_bound`` plus the per-PC sets
+  ``lvip_eligible_pcs`` / ``lvip_must_identical_pcs`` — the value-level
+  LVIP contract.  The LVIP (``repro.core.lvip``) is a sticky-optimistic
+  predictor: the first check of any PC predicts *identical*, and only a
+  PC that has actually mispredicted stops hitting.  Any static ratio
+  bound below 1.0 would therefore be unsound for a workload whose first
+  checks all hit, so the ratio bound is the trivial 1.0 whenever the job
+  type consults the LVIP at all, and 0.0 when it never does
+  (multi-threaded jobs bypass the predictor entirely).  The *teeth* are
+  per-PC: every dynamically checked PC must be a reachable load
+  (``lvip_eligible_pcs``), and no load the memory model proves
+  must-identical (address interval entirely inside the never-stored,
+  overlay-identical image region) may ever mispredict
+  (``lvip_must_identical_pcs``).
 
 Loop bodies are weighted by ``LOOP_WEIGHT ** depth`` when converting block
 sets into fractions — a static stand-in for execution frequency.  The
-*bounds* above do not depend on that heuristic being accurate for the
-built-in workloads (their divergent branches are data-dependent, hence
-never *provably* divergent, so nothing is subtracted); it only sharpens
-reports for hand-written programs with structural ``tid`` branches.
+*bounds* above do not depend on that heuristic being accurate; it only
+sharpens the descriptive fractions and reports.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import CFG
-from repro.analysis.dataflow import ENTRY_DEF, solve
 from repro.analysis.dom import VIRTUAL_EXIT, loop_depths, postdominators
+from repro.analysis.values import (
+    MemoryModel,
+    analyze_values_cfg,
+    exact_affine_of,
+    is_varying,
+)
 from repro.core.config import WorkloadType
-from repro.func.state import DEFAULT_STACK_TOP, STACK_STRIDE
-from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
-from repro.isa.registers import NUM_ARCH_REGS, SP, reg_name
+from repro.isa.registers import NUM_ARCH_REGS, reg_name
 from repro.pipeline.stats import SimStats
 from repro.workloads.generator import WorkloadBuild
 from repro.workloads.message_passing import MPWorkloadBuild
@@ -66,264 +69,6 @@ IDENTICAL = "identical"
 INPUT_DIVERGENT = "input-divergent"
 CONTROL_DIVERGENT = "control-divergent"
 UNREACHABLE = "unreachable"
-
-# ------------------------------------------------------------------- taints
-# Flat lattice, encoded as tuples so states hash/compare structurally:
-#   ("B",)                bottom (no path reaches this point yet)
-#   ("C", value)          known constant, identical across threads
-#   ("U", site)           unknown value, identical across threads
-#   ("D", site, a, b)     value == a*tid + b per thread (a != 0)
-#   ("D", site, None, None)  unknown injective function of tid
-#   ("M",)                may differ across threads
-Taint = tuple[object, ...]
-BOT: Taint = ("B",)
-MAYBE: Taint = ("M",)
-
-#: One register-file abstract state: a taint per architected register.
-RegState = tuple[Taint, ...]
-
-
-def _clean(value: int | float) -> Taint:
-    return ("C", value)
-
-
-def _uniform(site: int) -> Taint:
-    return ("U", site)
-
-
-def _diff(site: int, a: int | None, b: int | None) -> Taint:
-    return ("D", site, a, b)
-
-
-def _is_diff(t: Taint) -> bool:
-    return t[0] == "D"
-
-
-def _is_clean(t: Taint) -> bool:
-    return t[0] == "C"
-
-
-def _is_varying(t: Taint) -> bool:
-    """May the value differ across threads?"""
-    return t[0] in ("D", "M")
-
-
-def _const_of(t: Taint) -> int | None:
-    """The known integer constant, if the taint is an integer CLEAN."""
-    if t[0] == "C":
-        value = t[1]
-        if isinstance(value, int):
-            return value
-    return None
-
-
-def _affine_of(t: Taint) -> tuple[int, int] | None:
-    """The known (a, b) of an affine DIFF taint."""
-    if t[0] == "D":
-        a, b = t[2], t[3]
-        if isinstance(a, int) and isinstance(b, int):
-            return a, b
-    return None
-
-
-def _as_affine(t: Taint) -> tuple[int, int] | None:
-    """View a taint as ``a*tid + b``: affine DIFFs and integer constants."""
-    affine = _affine_of(t)
-    if affine is not None:
-        return affine
-    const = _const_of(t)
-    if const is not None:
-        return 0, const
-    return None
-
-
-def _join_taint(a: Taint, b: Taint) -> Taint:
-    if a == b:
-        return a
-    if a == BOT:
-        return b
-    if b == BOT:
-        return a
-    return MAYBE
-
-
-# 64-bit two's-complement wrap, matching repro.func.executor.
-_MASK64 = (1 << 64) - 1
-
-
-def _to_s64(value: int) -> int:
-    value &= _MASK64
-    return value - (1 << 64) if value >= 1 << 63 else value
-
-
-def _sll(x: int, y: int) -> int:
-    return _to_s64(x << (y & 63))
-
-
-def _srl(x: int, y: int) -> int:
-    return (x & _MASK64) >> (y & 63)
-
-
-def _sra(x: int, y: int) -> int:
-    return x >> (y & 63)
-
-
-#: Constant folders for integer ALU ops (DIV/REM excluded: div-by-zero).
-_INT_FOLD: dict[Opcode, Callable[[int, int], int]] = {
-    Opcode.ADD: lambda x, y: _to_s64(x + y),
-    Opcode.SUB: lambda x, y: _to_s64(x - y),
-    Opcode.MUL: lambda x, y: _to_s64(x * y),
-    Opcode.AND: lambda x, y: x & y,
-    Opcode.OR: lambda x, y: x | y,
-    Opcode.XOR: lambda x, y: x ^ y,
-    Opcode.SLL: _sll,
-    Opcode.SRL: _srl,
-    Opcode.SRA: _sra,
-    Opcode.SLT: lambda x, y: int(x < y),
-    Opcode.SEQ: lambda x, y: int(x == y),
-    Opcode.ADDI: lambda x, y: _to_s64(x + y),
-    Opcode.ANDI: lambda x, y: x & y,
-    Opcode.ORI: lambda x, y: x | y,
-    Opcode.XORI: lambda x, y: x ^ y,
-    Opcode.SLLI: _sll,
-    Opcode.SRLI: _srl,
-    Opcode.SLTI: lambda x, y: int(x < y),
-}
-
-_IMM_OPS = frozenset({
-    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
-    Opcode.SLLI, Opcode.SRLI, Opcode.SLTI,
-})
-
-
-def _alu_result(pc: int, op: Opcode, x: Taint, y: Taint) -> Taint:
-    """Taint of an integer ALU result given both operand taints."""
-    if x == BOT or y == BOT:
-        return BOT
-    cx, cy = _const_of(x), _const_of(y)
-    fold = _INT_FOLD.get(op)
-    if cx is not None and cy is not None:
-        if fold is not None:
-            return _clean(fold(cx, cy))
-        return _uniform(pc)  # DIV/REM on constants: fold-free, still uniform
-    ax, ay = _affine_of(x), _affine_of(y)
-
-    # Affine combinations: (a1*t + b1) op (a2*t + b2) with one side possibly
-    # constant (a == 0).  Only ADD/SUB stay affine; MUL by a constant scales.
-    if op in (Opcode.ADD, Opcode.ADDI, Opcode.SUB):
-        pa, pb = _as_affine(x), _as_affine(y)
-        if pa is not None and pb is not None:
-            sign = -1 if op is Opcode.SUB else 1
-            a = pa[0] + sign * pb[0]
-            b = pa[1] + sign * pb[1]
-            if a == 0:
-                return _clean(b)
-            return _diff(pc, a, b)
-    if op is Opcode.MUL:
-        pair = ax if ax is not None else ay
-        const = cy if ax is not None else cx
-        if pair is not None and const is not None:
-            if const == 0:
-                return _clean(0)
-            return _diff(pc, pair[0] * const, pair[1] * const)
-
-    # Injectivity-preserving ops: adding/xoring a thread-uniform value to an
-    # injective-in-tid value keeps it injective (form unknown).
-    if _is_diff(x) != _is_diff(y):
-        d, other = (x, y) if _is_diff(x) else (y, x)
-        if other[0] in ("C", "U") and op in (
-            Opcode.ADD, Opcode.ADDI, Opcode.SUB, Opcode.XOR, Opcode.XORI
-        ):
-            return _diff(pc, None, None)
-
-    if x == MAYBE or y == MAYBE or _is_diff(x) or _is_diff(y):
-        return MAYBE
-    return _uniform(pc)  # uniform/constant inputs, un-modelled op
-
-
-def _transfer_inst(
-    pc: int, inst: Instruction, state: list[Taint], nctx: int
-) -> None:
-    """Apply one instruction's effect to a mutable register-taint list."""
-    dst = inst.dst
-    if dst is None:
-        return
-    op = inst.op
-
-    def src(reg: int | None) -> Taint:
-        return _clean(0) if reg is None else state[reg]
-
-    if op is Opcode.LI or op is Opcode.FLI:
-        result: Taint = _clean(inst.imm if inst.imm is not None else 0)
-    elif op is Opcode.TID:
-        result = _diff(pc, 1, 0) if nctx > 1 else _clean(0)
-    elif op is Opcode.NCTX:
-        result = _clean(nctx)
-    elif op is Opcode.JAL:
-        result = _clean(pc + 1)  # link register: a code address, uniform
-    elif op in (Opcode.LW, Opcode.FLW, Opcode.TRECV):
-        result = MAYBE  # memory / message contents are not modelled
-    elif op in _INT_FOLD or op in (Opcode.DIV, Opcode.REM):
-        if op in _IMM_OPS:
-            result = _alu_result(
-                pc, op, src(inst.rs1), _clean(inst.imm if inst.imm is not None else 0)
-            )
-        else:
-            result = _alu_result(pc, op, src(inst.rs1), src(inst.rs2))
-    elif op in (Opcode.FCVT, Opcode.FNEG):
-        x = src(inst.rs1)
-        if x == BOT:
-            result = BOT
-        elif _is_diff(x):
-            result = _diff(pc, None, None)  # injective: exact for small ints
-        elif x == MAYBE:
-            result = MAYBE
-        else:
-            result = _uniform(pc)
-    else:
-        # Remaining fp ops, compares, etc.: uniform in, uniform out.
-        operands = [src(inst.rs1), src(inst.rs2)]
-        if any(t == BOT for t in operands):
-            result = BOT
-        elif any(_is_varying(t) for t in operands):
-            result = MAYBE
-        else:
-            result = _uniform(pc)
-    state[dst] = result
-
-
-# -------------------------------------------------------- branch divergence
-def _branch_class(inst: Instruction, state: Sequence[Taint], nctx: int) -> str:
-    """Classify a conditional branch: 'uniform', 'may', or 'must' diverge."""
-    t1 = state[inst.rs1] if inst.rs1 is not None else _clean(0)
-    t2 = state[inst.rs2] if inst.rs2 is not None else _clean(0)
-    if t1 == BOT or t2 == BOT:
-        return "uniform"
-    if nctx < 2:
-        return "uniform"
-    if not _is_varying(t1) and not _is_varying(t2):
-        return "uniform"
-
-    # Reduce to d(t) = a*t + b vs 0: outcome as a function of the thread id.
-    p1 = _as_affine(t1)
-    p2 = _as_affine(t2)
-    if p1 is None or p2 is None:
-        return "may"
-    a = p1[0] - p2[0]
-    b = p1[1] - p2[1]
-    if a == 0:
-        return "uniform"  # same affine dependence cancels: all threads agree
-    op = inst.op
-    if op in (Opcode.BEQ, Opcode.BNE):
-        # d(t) == 0 at exactly one real t; divergent iff that t is a live
-        # thread id (the others then disagree with it).
-        if b % a == 0 and 0 <= -b // a < nctx:
-            return "must"
-        return "uniform"  # no thread satisfies equality: all agree
-    # BLT/BGE on lhs < rhs: d(t) < 0 is monotone in t; endpoints decide.
-    first = a * 0 + b < 0
-    last = a * (nctx - 1) + b < 0
-    return "must" if first != last else "uniform"
 
 
 def _divergent_side(
@@ -367,6 +112,23 @@ class OracleReport:
     may_diverge_branches: list[int] = field(default_factory=list)
     #: Registers whose exit value is provably injective in the thread id.
     diverging_exit_regs: frozenset[int] = frozenset()
+    #: Does this job type consult the LVIP at all?  Multi-threaded jobs
+    #: never do; multi-execution, message-passing and Limit-study jobs do.
+    lvip_eligible: bool = False
+    #: Sound upper bound on the dynamic LVIP hit rate
+    #: ((checks - mispredicts) / checks).  1.0 when eligible (the sticky
+    #: predictor's first check per PC always hits), 0.0 when the job
+    #: never consults the predictor.
+    lvip_hit_rate_upper_bound: float = 0.0
+    #: Every load PC an LVIP check could legally target.
+    lvip_eligible_pcs: frozenset[int] = frozenset()
+    #: Load PCs that can never mispredict: their address interval lies
+    #: entirely inside the overlay-identical, never-stored image region.
+    lvip_must_identical_pcs: frozenset[int] = frozenset()
+    #: Loop-weighted fraction of load sites proven must-identical.
+    lvip_must_identical_fraction: float = 0.0
+    #: Natural-loop headers where loop-uniformity widening fired.
+    widened_loop_headers: int = 0
 
     def validate_against(
         self, stats: SimStats, rst_sharing: float | None = None
@@ -384,12 +146,42 @@ class OracleReport:
                 f"{self.name}: dynamic merge fraction {measured_merge:.4f} "
                 f"exceeds the static upper bound {self.merge_upper_bound:.4f}"
             )
+        if rst_sharing is None:
+            rst_sharing = stats.final_rst_sharing
         if rst_sharing is not None and rst_sharing > self.rst_upper_bound + 1e-9:
             regs = ", ".join(reg_name(r) for r in sorted(self.diverging_exit_regs))
             problems.append(
                 f"{self.name}: dynamic RST sharing {rst_sharing:.4f} exceeds "
                 f"the static upper bound {self.rst_upper_bound:.4f} "
                 f"(must-diverge regs: {regs or 'none'})"
+            )
+        problems.extend(self._validate_lvip(stats))
+        return problems
+
+    def _validate_lvip(self, stats: SimStats) -> list[str]:
+        problems: list[str] = []
+        measured_rate = stats.lvip_hit_rate()
+        if measured_rate > self.lvip_hit_rate_upper_bound + 1e-9:
+            problems.append(
+                f"{self.name}: dynamic LVIP hit rate {measured_rate:.4f} "
+                f"exceeds the static upper bound "
+                f"{self.lvip_hit_rate_upper_bound:.4f}"
+            )
+        checked = frozenset(stats.lvip_site_checks)
+        stray = checked - self.lvip_eligible_pcs
+        if stray:
+            pcs = ", ".join(str(pc) for pc in sorted(stray))
+            problems.append(
+                f"{self.name}: LVIP checked PCs outside the static eligible "
+                f"load set: {pcs}"
+            )
+        mispredicted = frozenset(stats.lvip_site_mispredicts)
+        broken = mispredicted & self.lvip_must_identical_pcs
+        if broken:
+            pcs = ", ".join(str(pc) for pc in sorted(broken))
+            problems.append(
+                f"{self.name}: LVIP mispredicted loads the oracle proved "
+                f"must-identical: {pcs}"
             )
         return problems
 
@@ -401,7 +193,18 @@ class OracleReport:
             f"input-div={self.input_divergent_fraction:.2f} "
             f"control-div={self.control_divergent_fraction:.2f} "
             f"merge<={self.merge_upper_bound:.3f} "
-            f"rst<={self.rst_upper_bound:.3f}"
+            f"rst<={self.rst_upper_bound:.3f} "
+            f"lvip<={self.lvip_hit_rate_upper_bound:.1f}"
+        )
+
+    def values_summary(self) -> str:
+        """One-line summary of the value-level (LVIP) columns."""
+        return (
+            f"{self.name}: lvip-eligible={len(self.lvip_eligible_pcs)} "
+            f"must-identical={len(self.lvip_must_identical_pcs)} "
+            f"({self.lvip_must_identical_fraction:.2f} weighted) "
+            f"widened-headers={self.widened_loop_headers} "
+            f"lvip<={self.lvip_hit_rate_upper_bound:.1f}"
         )
 
 
@@ -411,16 +214,29 @@ def analyze_program(
     *,
     sp_divergent: bool = True,
     name: str | None = None,
+    memory: MemoryModel | None = None,
+    lvip_eligible: bool | None = None,
+    tid_value: int | None = None,
 ) -> OracleReport:
-    """Run the thread-divergence taint analysis over one program image.
+    """Run the value-level divergence analysis over one program image.
 
     *sp_divergent* models the multi-threaded job convention of strided
     per-thread stack tops; multi-execution and message-passing jobs give
-    every context the same stack top.
+    every context the same stack top.  *memory* supplies the data-image
+    model used to prove loads must-identical; *lvip_eligible* marks
+    whether the job type consults the LVIP (default: every non-MT
+    convention, i.e. exactly when *sp_divergent* is off); *tid_value*
+    pins the TID opcode (Limit-study clones all run as tid 0).
     """
     cfg = CFG.from_program(program)
     return analyze_cfg(
-        cfg, nctx, sp_divergent=sp_divergent, name=name or program.name
+        cfg,
+        nctx,
+        sp_divergent=sp_divergent,
+        name=name or program.name,
+        memory=memory,
+        lvip_eligible=lvip_eligible,
+        tid_value=tid_value,
     )
 
 
@@ -430,45 +246,21 @@ def analyze_cfg(
     *,
     sp_divergent: bool = True,
     name: str = "program",
+    memory: MemoryModel | None = None,
+    lvip_eligible: bool | None = None,
+    tid_value: int | None = None,
 ) -> OracleReport:
     """:func:`analyze_program` over an already-built CFG."""
-    num_regs = NUM_ARCH_REGS
-    boundary_list: list[Taint] = [_clean(0)] * num_regs
-    if sp_divergent and nctx > 1:
-        boundary_list[SP] = _diff(ENTRY_DEF, -STACK_STRIDE, DEFAULT_STACK_TOP)
-    else:
-        boundary_list[SP] = _clean(DEFAULT_STACK_TOP)
-    boundary: RegState = tuple(boundary_list)
-    bottom: RegState = tuple([BOT] * num_regs)
-
-    def transfer(bid: int, state: RegState) -> RegState:
-        regs = list(state)
-        for pc in cfg.blocks[bid].pcs():
-            _transfer_inst(pc, cfg.instructions[pc], regs, nctx)
-        return tuple(regs)
-
-    def join(a: RegState, b: RegState) -> RegState:
-        if a == b:
-            return a
-        return tuple(_join_taint(x, y) for x, y in zip(a, b))
-
-    block_in, block_out = solve(
+    if lvip_eligible is None:
+        lvip_eligible = not sp_divergent
+    va = analyze_values_cfg(
         cfg,
-        direction="forward",
-        boundary=boundary,
-        init=bottom,
-        transfer=transfer,
-        join=join,
+        nctx,
+        sp_divergent=sp_divergent,
+        memory=memory,
+        tid_value=tid_value,
     )
-
-    def state_at(pc: int) -> RegState:
-        bid = cfg.block_of[pc]
-        regs = list(block_in[bid])
-        for earlier in range(cfg.blocks[bid].start, pc):
-            _transfer_inst(earlier, cfg.instructions[earlier], regs, nctx)
-        return tuple(regs)
-
-    reachable = cfg.reachable()
+    reachable = va.reachable
     depths = loop_depths(cfg)
     ipdom = postdominators(cfg)
 
@@ -485,11 +277,8 @@ def analyze_cfg(
     for block in cfg.blocks:
         if block.bid not in reachable:
             continue
-        inst = cfg.instructions[block.last]
-        if not inst.is_branch:
-            continue
-        klass = _branch_class(inst, state_at(block.last), nctx)
-        if klass == "uniform":
+        klass = va.branch_classes.get(block.last)
+        if klass is None or klass == "uniform":
             continue
         (must_diverge if klass == "must" else may_diverge).append(block.last)
         stop = ipdom[block.bid]
@@ -505,7 +294,7 @@ def analyze_cfg(
             lighter = min(sides, key=lambda s: sum(weight(b) for b in s))
             unmergeable |= lighter
 
-    # --------------------------------------------------- block classification
+    # ------------------------------------------------- block classification
     classes: list[str] = []
     weights = {IDENTICAL: 0, INPUT_DIVERGENT: 0, CONTROL_DIVERGENT: 0}
     for block in cfg.blocks:
@@ -515,15 +304,15 @@ def analyze_cfg(
         if block.bid in control_divergent:
             label = CONTROL_DIVERGENT
         else:
-            regs = list(block_in[block.bid])
+            regs = list(va.block_in[block.bid])
             label = IDENTICAL
             for pc in block.pcs():
                 inst = cfg.instructions[pc]
-                if any(_is_varying(regs[r]) for r in inst.srcs):
+                if any(is_varying(regs[r]) for r in inst.srcs):
                     label = INPUT_DIVERGENT
                     break
-                _transfer_inst(pc, inst, regs, nctx)
-                if inst.dst is not None and _is_varying(regs[inst.dst]):
+                va.apply(pc, regs)
+                if inst.dst is not None and is_varying(regs[inst.dst]):
                     label = INPUT_DIVERGENT
                     break
         classes.append(label)
@@ -534,15 +323,36 @@ def analyze_cfg(
         blocked = sum(weight(b) for b in unmergeable & reachable)
         merge_upper = max(0.0, 1.0 - blocked / total_weight)
 
-    # ------------------------------------------------------ exit register set
+    # ----------------------------------------------------- exit register set
     exits = [b.bid for b in cfg.blocks if not b.succs and b.bid in reachable]
     must_differ: set[int] = set()
     if exits and nctx > 1:
-        for reg in range(num_regs):
-            taints = [block_out[e][reg] for e in exits]
-            if all(_is_diff(t) for t in taints):
+        for reg in range(NUM_ARCH_REGS):
+            vals = [va.block_out[e][reg] for e in exits]
+            if all(_must_differ_exit(v) for v in vals):
                 must_differ.add(reg)
-    rst_upper = 1.0 - len(must_differ) / num_regs
+    rst_upper = 1.0 - len(must_differ) / NUM_ARCH_REGS
+
+    # -------------------------------------------------------- LVIP contract
+    eligible_pcs = va.eligible_load_pcs() if lvip_eligible else frozenset()
+    identical_pcs = (
+        va.must_identical_load_pcs() & eligible_pcs
+        if lvip_eligible
+        else frozenset()
+    )
+    load_weight = {
+        pc: weight(cfg.block_of[pc]) for pc in va.loads
+    }
+    total_load_weight = sum(load_weight.values())
+    identical_fraction_lvip = (
+        sum(load_weight[pc] for pc in identical_pcs) / total_load_weight
+        if total_load_weight and lvip_eligible
+        else 0.0
+    )
+    # The LVIP defaults to "identical" and only unlearns a PC after an
+    # actual misprediction, so the first check of every PC hits: no ratio
+    # bound below 1.0 is sound while the predictor is consulted at all.
+    lvip_bound = 1.0 if (lvip_eligible and eligible_pcs) else 0.0
 
     return OracleReport(
         name=name,
@@ -556,17 +366,71 @@ def analyze_cfg(
         must_diverge_branches=sorted(must_diverge),
         may_diverge_branches=sorted(may_diverge),
         diverging_exit_regs=frozenset(must_differ),
+        lvip_eligible=lvip_eligible,
+        lvip_hit_rate_upper_bound=lvip_bound,
+        lvip_eligible_pcs=eligible_pcs,
+        lvip_must_identical_pcs=identical_pcs,
+        lvip_must_identical_fraction=identical_fraction_lvip,
+        widened_loop_headers=len(va.widened_headers),
     )
+
+
+def _must_differ_exit(v: tuple[object, ...]) -> bool:
+    """May this exit value be claimed pairwise-distinct across threads?
+
+    Exact affine forms (``a*tid + b`` with integer coefficients) and
+    widening-free unknown-injective values qualify; widened values
+    (symbolic uniform bases) do not — their uniformity claim assumes all
+    threads iterate loops in lockstep, which the dynamic machine does not
+    guarantee at exit.
+    """
+    if v[0] != "D":
+        return False
+    if exact_affine_of(v) is not None:
+        return True
+    return v[2] is None and v[3] is None  # unknown injective, not widened
 
 
 def analyze_build(build: WorkloadBuild) -> OracleReport:
     """Oracle report for a generated single/multi-context workload build."""
-    sp_divergent = build.profile.wtype is WorkloadType.MULTI_THREADED
+    shared = build.profile.wtype is WorkloadType.MULTI_THREADED
     return analyze_program(
-        build.program, build.nctx, sp_divergent=sp_divergent
+        build.program,
+        build.nctx,
+        sp_divergent=shared,
+        memory=MemoryModel.for_build(build, shared=shared),
+        lvip_eligible=not shared,
+    )
+
+
+def analyze_limit_build(build: WorkloadBuild) -> OracleReport:
+    """Oracle report for a build run under the Limit-study configuration.
+
+    ``Job.limit_clone`` runs *nctx* identical clones of the program: every
+    context sees the base data image (no overlays) and soft tid 0, and
+    the clones execute as a multi-execution job, so they do consult the
+    LVIP.  With no overlays and a pinned tid, far more loads are provably
+    identical — which is the point of the limit study.
+    """
+    return analyze_program(
+        build.program,
+        build.nctx,
+        sp_divergent=False,
+        name=build.program.name + "-limit",
+        memory=MemoryModel(dict(build.program.data)),
+        lvip_eligible=True,
+        tid_value=0,
     )
 
 
 def analyze_mp_build(build: MPWorkloadBuild) -> OracleReport:
     """Oracle report for a generated message-passing workload build."""
-    return analyze_program(build.program, build.nctx, sp_divergent=False)
+    return analyze_program(
+        build.program,
+        build.nctx,
+        sp_divergent=False,
+        # Every rank boots from the same image in its own address space
+        # (rank-specific inputs arrive by message, not by overlay).
+        memory=MemoryModel(dict(build.program.data)),
+        lvip_eligible=True,
+    )

@@ -26,10 +26,15 @@ class LoadValuesIdenticalPredictor:
         self.predictions = 0
         self.predicted_identical = 0
         self.mispredictions = 0
+        # Per-PC check/mispredict counts: the surface the static oracle's
+        # per-site LVIP contract is validated against.
+        self.site_checks: dict[int, int] = {}
+        self.site_mispredicts: dict[int, int] = {}
 
     def predict_identical(self, pc: int) -> bool:
         """Predict whether the load at *pc* returns identical values."""
         self.predictions += 1
+        self.site_checks[pc] = self.site_checks.get(pc, 0) + 1
         identical = self._tags[pc & self._mask] != pc
         if identical:
             self.predicted_identical += 1
@@ -38,6 +43,7 @@ class LoadValuesIdenticalPredictor:
     def record_mispredict(self, pc: int) -> None:
         """The load at *pc* returned differing values: remember it."""
         self.mispredictions += 1
+        self.site_mispredicts[pc] = self.site_mispredicts.get(pc, 0) + 1
         self._tags[pc & self._mask] = pc
 
     def record_identical(self, pc: int) -> None:

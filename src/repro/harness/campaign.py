@@ -232,6 +232,11 @@ class CampaignResult:
     cache_misses: int = 0
     retries: int = 0
     wall_time: float = 0.0
+    #: Post-hoc validation failures attached at aggregation time (the
+    #: campaign layer is validation-agnostic; see
+    #: ``repro.harness.experiment.validate_campaign_result``, which checks
+    #: every successful simulation against the static redundancy oracle).
+    validation_failures: list = field(default_factory=list)
 
     @property
     def jobs(self) -> int:

@@ -279,7 +279,7 @@ def _analyze(args) -> int:
             print(f"error: {exc}")
             return 2
         oracle = analyze_mp_build(build) if is_mp else analyze_build(build)
-        rows.append({
+        row = {
             "workload": label,
             "insts": len(build.program),
             "diags": len(diags),
@@ -288,12 +288,22 @@ def _analyze(args) -> int:
             "control_div": oracle.control_divergent_fraction,
             "merge_ub": oracle.merge_upper_bound,
             "rst_ub": oracle.rst_upper_bound,
-        })
+        }
+        if args.values:
+            row.update({
+                "lvip_ub": oracle.lvip_hit_rate_upper_bound,
+                "must_id": oracle.lvip_must_identical_fraction,
+                "widened": oracle.widened_loop_headers,
+            })
+        rows.append(row)
         all_diags.extend((label, d) for d in diags)
+    columns = ["workload", "insts", "diags", "identical", "input_div",
+               "control_div", "merge_ub", "rst_ub"]
+    if args.values:
+        columns += ["lvip_ub", "must_id", "widened"]
     print(report.format_table(
         rows,
-        columns=["workload", "insts", "diags", "identical", "input_div",
-                 "control_div", "merge_ub", "rst_ub"],
+        columns=columns,
         title=f"Static analysis — {len(targets)} workload(s)"
               + (f", suppressed: {', '.join(suppress)}" if suppress else ""),
     ))
@@ -370,6 +380,12 @@ def _campaign(args) -> int:
         progress=print,
         failure_dump_dir=args.dump_dir or None,
     )
+    # Oracle gate: every successful result — including cache hits — is
+    # cross-checked against the static redundancy/value analysis at
+    # aggregation time.  A violation means the simulator contradicted a
+    # proven bound; that fails the campaign.
+    if not args.no_validate:
+        experiment.validate_campaign_result(result, progress=print)
     rows = []
     for outcome in result.outcomes:
         job = outcome.job
@@ -406,9 +422,19 @@ def _campaign(args) -> int:
             columns=["job", "status", "attempts", "error", "dump"],
             title="Failed jobs (reported, not fatal)",
         ))
+    violations = results.campaign_violation_rows(result)
+    if violations:
+        print(report.format_table(
+            violations,
+            columns=["job", "workload", "config", "problems"],
+            title="Oracle violations (dynamic run contradicted a "
+                  "static bound — FATAL)",
+        ))
     if args.json:
         results.dump_campaign(result, args.json)
         print(f"\n[campaign record written to {args.json}]")
+    if violations:
+        return 1
     # Partial failure is reported, not fatal; a sweep where *nothing*
     # succeeded is an error for scripting purposes.
     return 0 if (not jobs or result.completed) else 1
@@ -545,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one livelocked job (watchdog + flight-dump demo)",
     )
     campaign.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the static-oracle validation gate at aggregation time",
+    )
+    campaign.add_argument(
         "--dump-dir",
         default=".repro-flight",
         metavar="DIR",
@@ -556,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-workloads",
         action="store_true",
         help="analyze every built-in app plus the message-passing patterns",
+    )
+    analyze.add_argument(
+        "--values",
+        action="store_true",
+        help="include value-level oracle columns (static LVIP hit-rate "
+        "upper bound, weighted must-identical load fraction, widened "
+        "loop-header count)",
     )
     analyze.add_argument(
         "--suppress",

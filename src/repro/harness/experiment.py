@@ -254,6 +254,108 @@ def trace_run(
     return result, obs
 
 
+@dataclass(frozen=True)
+class OracleViolation:
+    """One dynamic run that disagreed with its static oracle bounds.
+
+    Either the workload violates the analysis assumptions or the
+    simulator (or the oracle) has a bug — both are campaign-stopping
+    findings, which is why aggregation surfaces them as structured
+    failures instead of silently archiving the run.
+    """
+
+    job: str
+    workload: str
+    config: str
+    problems: tuple[str, ...]
+
+    def label(self) -> str:
+        return self.job
+
+    def __str__(self) -> str:
+        lines = "; ".join(self.problems)
+        return f"{self.job}: {lines}"
+
+
+_ORACLE_MEMO: dict[tuple, object] = {}
+
+
+def clear_oracle_memo() -> None:
+    """Drop memoised oracle reports (tests use this for isolation)."""
+    _ORACLE_MEMO.clear()
+
+
+def oracle_for_run(run: RunResult):
+    """The static :class:`~repro.analysis.redundancy.OracleReport`
+    governing one completed run.
+
+    Reports are memoised per (program digest, context count, limit-mode)
+    so a campaign over many configurations analyses each distinct
+    workload once.  Limit-study runs (``config.limit_identical``) execute
+    identical clones with soft tid 0 and therefore get the dedicated
+    limit analysis.
+    """
+    from repro.analysis.redundancy import analyze_build, analyze_limit_build
+
+    limit = run.config.limit_identical
+    key = (run.build.program.digest(), run.build.nctx, limit)
+    report = _ORACLE_MEMO.get(key)
+    if report is None:
+        report = (
+            analyze_limit_build(run.build)
+            if limit
+            else analyze_build(run.build)
+        )
+        _ORACLE_MEMO[key] = report
+    return report
+
+
+def validate_campaign_result(result, progress=None) -> list[OracleViolation]:
+    """Check every successful simulation against its static oracle.
+
+    This is the campaign aggregation gate: each OK outcome whose payload
+    is a :class:`RunResult` (including cache hits — stale cached results
+    from a buggy simulator version are exactly what this catches) is
+    cross-checked with :meth:`OracleReport.validate_against`.  Violations
+    are appended to ``result.validation_failures`` and returned; a
+    payload whose analysis itself fails (e.g. fixpoint divergence) is
+    reported as a violation rather than skipped.
+
+    Non-simulation payloads (custom runners) are skipped — the gate only
+    claims what the oracle can actually check.
+    """
+    emit = progress if callable(progress) else (lambda line: None)
+    violations: list[OracleViolation] = []
+    for outcome in result.outcomes:
+        payload = outcome.payload
+        if not outcome.ok or not isinstance(payload, RunResult):
+            continue
+        job = job_label_of(outcome)
+        try:
+            report = oracle_for_run(payload)
+            problems = report.validate_against(payload.stats)
+        except Exception as exc:  # noqa: BLE001 - reported as a violation
+            problems = [f"oracle analysis failed: {type(exc).__name__}: {exc}"]
+        if problems:
+            violation = OracleViolation(
+                job=job,
+                workload=payload.build.program.name,
+                config=payload.config.name,
+                problems=tuple(problems),
+            )
+            violations.append(violation)
+            emit(f"[oracle] VIOLATION {violation}")
+    result.validation_failures.extend(violations)
+    return violations
+
+
+def job_label_of(outcome) -> str:
+    """Display label for one campaign outcome's job."""
+    from repro.harness.campaign import job_label
+
+    return job_label(outcome.job)
+
+
 class WorkloadLintError(RuntimeError):
     """A campaign workload failed the pre-dispatch static lint."""
 
@@ -324,6 +426,7 @@ def run_points(
     progress=None,
     failure_dump_dir=None,
     lint: bool = True,
+    validate: bool = True,
 ) -> CampaignResult:
     """Run many simulation points in parallel and seed the in-memory memo.
 
@@ -335,7 +438,11 @@ def run_points(
 
     Unless *lint* is disabled, every distinct workload is statically
     linted (content-addressed, so effectively free after the first run)
-    before any job dispatches; see :func:`lint_campaign_jobs`.
+    before any job dispatches; see :func:`lint_campaign_jobs`.  Unless
+    *validate* is disabled, every successful result — fresh or served
+    from the on-disk cache — is cross-checked against the static
+    redundancy oracle at aggregation time; disagreements land in
+    ``result.validation_failures`` (see :func:`validate_campaign_result`).
     """
     jobs = [
         point if isinstance(point, CampaignJob) else CampaignJob(*point)
@@ -359,6 +466,8 @@ def run_points(
     for outcome in result.outcomes:
         if outcome.ok:
             _CACHE[outcome.job.memo_key()] = outcome.payload
+    if validate:
+        validate_campaign_result(result, progress=progress)
     return result
 
 

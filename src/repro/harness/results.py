@@ -85,6 +85,12 @@ def summarize_campaign(result) -> dict:
         # when their entry was produced; zeros are "not measured").
         "job_rss_max_kb": max(rss) if rss else 0,
         "job_rss_mean_kb": sum(rss) / len(rss) if rss else 0.0,
+        # Static-oracle disagreements attached at aggregation time (see
+        # experiment.validate_campaign_result); non-zero means a
+        # simulation contradicted a proven bound.
+        "oracle_violations": len(
+            getattr(result, "validation_failures", ()) or ()
+        ),
     }
     return summary
 
@@ -103,6 +109,19 @@ def campaign_failure_rows(result) -> list[dict]:
         }
         for outcome in result.outcomes
         if not outcome.ok
+    ]
+
+
+def campaign_violation_rows(result) -> list[dict]:
+    """One row per static-oracle validation failure, for reporting."""
+    return [
+        {
+            "job": violation.job,
+            "workload": violation.workload,
+            "config": violation.config,
+            "problems": "; ".join(violation.problems),
+        }
+        for violation in getattr(result, "validation_failures", ()) or ()
     ]
 
 
@@ -132,6 +151,9 @@ def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
         jobs.append(record)
     document = {"summary": _jsonable(summarize_campaign(result)),
                 "jobs": _jsonable(jobs)}
+    violations = campaign_violation_rows(result)
+    if violations:
+        document["oracle_violations"] = _jsonable(violations)
     if extra:
         document.update(_jsonable(extra))
     path.parent.mkdir(parents=True, exist_ok=True)

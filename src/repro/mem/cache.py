@@ -83,7 +83,7 @@ class Cache:
                 return True
         self.stats.misses += 1
         if len(set_) >= self.assoc:
-            victim = set_.pop()
+            victim = set_.pop()  # simlint: ignore — LRU list, not a set
             if victim[1]:
                 self.stats.writebacks += 1
         set_.insert(0, [key, is_write])

@@ -321,7 +321,7 @@ class FetchStageMixin:
             di.pred_target = pred_next
             return pred_next
         if inst.op is Opcode.JR:
-            pred_next = self.ras[leader].pop()
+            pred_next = self.ras[leader].pop()  # simlint: ignore — LIFO stack
             di.pred_target = pred_next
             return pred_next
         # Direct jumps: target known at fetch/decode, no bubble modelled.

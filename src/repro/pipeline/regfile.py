@@ -41,7 +41,7 @@ class PhysRegFile:
         """Allocate a register with *map_claims* initial mapping claims."""
         if not self._free:
             raise OutOfPhysRegs("physical register file exhausted")
-        preg = self._free.pop()
+        preg = self._free.pop()  # simlint: ignore — free list is a list
         self._map_refs[preg] = map_claims
         self._src_refs[preg] = 0
         self.ready[preg] = False

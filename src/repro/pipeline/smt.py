@@ -273,6 +273,19 @@ class SMTCore(
             self.step()
         if self.obs.active:
             self.obs.finalize(self)
+        # Snapshot predictor-local and RST-local state into the stats
+        # object so post-hoc validation (campaign aggregation) can run
+        # without the live core.
+        self.stats.lvip_site_checks = dict(self.lvip.site_checks)
+        self.stats.lvip_site_mispredicts = dict(self.lvip.site_mispredicts)
+        if self.mmt.shared_fetch:
+            # The RST only tracks values when merged fetch runs it (its
+            # update sites are all gated on shared_fetch); under Base the
+            # table is frozen at its initial state and its "sharing
+            # fraction" is not an observation worth validating.
+            self.stats.final_rst_sharing = self.rst.sharing_fraction(
+                self.num_threads
+            )
         if self.strict:
             self._final_checks()
         return self.stats

@@ -77,6 +77,14 @@ class SimStats:
     lvip_predict_identical: int = 0
     lvip_mispredicts: int = 0
     lvip_squashed_insts: int = 0
+    # Per-PC LVIP activity, copied from the predictor at end of run:
+    # the surface the static oracle's per-site contract validates.
+    lvip_site_checks: dict[int, int] = field(default_factory=dict)
+    lvip_site_mispredicts: dict[int, int] = field(default_factory=dict)
+
+    # Final RST sharing fraction, recorded at end of run so post-hoc
+    # validation (campaign aggregation) does not need the live core.
+    final_rst_sharing: float | None = None
 
     # Commit.
     committed_thread_insts: int = 0
@@ -151,6 +159,23 @@ class SimStats:
             f"LVIP identical predictions ({self.lvip_predict_identical}) "
             f"exceed LVIP checks ({self.lvip_checks})",
         )
+        if self.lvip_site_checks:
+            check(
+                sum(self.lvip_site_checks.values()) == self.lvip_checks,
+                "per-site LVIP checks do not partition total checks: "
+                f"{sum(self.lvip_site_checks.values())} != {self.lvip_checks}",
+            )
+            check(
+                sum(self.lvip_site_mispredicts.values())
+                == self.lvip_mispredicts,
+                "per-site LVIP mispredicts do not partition total "
+                f"mispredicts: {sum(self.lvip_site_mispredicts.values())} "
+                f"!= {self.lvip_mispredicts}",
+            )
+            check(
+                set(self.lvip_site_mispredicts) <= set(self.lvip_site_checks),
+                "LVIP mispredicted PCs that were never checked",
+            )
         check(
             self.register_merge_successes <= self.register_merge_attempts,
             f"register merge successes ({self.register_merge_successes}) "
@@ -169,6 +194,12 @@ class SimStats:
         if not self.cycles:
             return 0.0
         return self.committed_thread_insts / self.cycles
+
+    def lvip_hit_rate(self) -> float:
+        """Fraction of LVIP checks that did not mispredict (0.0 if unused)."""
+        if not self.lvip_checks:
+            return 0.0
+        return 1.0 - self.lvip_mispredicts / self.lvip_checks
 
     def mode_breakdown(self) -> dict[str, float]:
         """Fraction of fetched thread-instructions per fetch mode (Fig 5(d))."""

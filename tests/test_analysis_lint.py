@@ -82,7 +82,8 @@ def test_undef_read_warning():
 
 
 def test_defined_on_one_path_is_not_undef():
-    # Reaching-defs is a may-analysis: one defining path suffices.
+    # Reaching-defs is a may-analysis: one defining path suffices —
+    # but the must-variant fires, since the other path skips the def.
     prog = assemble(
         """
     beq r0, r0, Ldef
@@ -94,7 +95,86 @@ Luse:
     halt
 """
     )
-    assert "undef-read" not in rules_of(lint_program(prog))
+    diags = lint_program(prog)
+    assert "undef-read" not in rules_of(diags)
+    must = [d for d in diags if d.rule == "undef-read-must"]
+    assert len(must) == 1
+    assert must[0].severity == "warning"
+    assert "r1" in must[0].message
+
+
+def test_conditionally_undefined_read_fires_must_rule():
+    # if (r1 >= 0) r2 = 5;  use r2  — classic conditional initialisation.
+    prog = assemble(
+        """
+    li r1, 0
+    blt r1, r0, Luse
+    li r2, 5
+Luse:
+    add r3, r2, r1
+    halt
+"""
+    )
+    diags = lint_program(prog)
+    must = [d for d in diags if d.rule == "undef-read-must"]
+    assert [d.pc for d in must] == [3]
+    # The may-rule stays quiet: one defining path exists.
+    assert "undef-read" not in rules_of(diags)
+
+
+def test_defined_on_all_paths_is_clean_for_must_rule():
+    prog = assemble(
+        """
+    li r1, 0
+    blt r1, r0, Lelse
+    li r2, 5
+    j Luse
+Lelse:
+    li r2, 9
+Luse:
+    add r3, r2, r1
+    halt
+"""
+    )
+    assert "undef-read-must" not in rules_of(lint_program(prog))
+
+
+def test_loop_carried_definition_satisfies_must_rule():
+    # The def dominates the back-edge read: every path to the read
+    # (including around the loop) passes a definition.
+    prog = assemble(
+        """
+    li r1, 0
+    li r2, 4
+Lloop:
+    addi r1, r1, 1
+    blt r1, r2, Lloop
+    halt
+"""
+    )
+    assert "undef-read-must" not in rules_of(lint_program(prog))
+
+
+def test_totally_undefined_read_fires_only_the_may_rule():
+    # The two undefined-read rules partition: no double report.
+    prog = assemble("add r1, r2, r3\nhalt")
+    diags = lint_program(prog)
+    assert "undef-read" in rules_of(diags)
+    assert "undef-read-must" not in rules_of(diags)
+
+
+def test_undef_read_must_suppressible():
+    prog = assemble(
+        """
+    li r1, 0
+    blt r1, r0, Luse
+    li r2, 5
+Luse:
+    add r3, r2, r1
+    halt
+"""
+    )
+    assert lint_program(prog, suppress=("undef-read-must",)) == []
 
 
 def test_store_undef_base():

@@ -1,0 +1,283 @@
+"""Value-level analysis: lattice, widening, memory model, block classes.
+
+Unit coverage of ``repro.analysis.values`` (the fixpoint the LVIP oracle
+is built on) plus the block-class regression for the built-in workloads:
+with loop-uniformity widening, back-edge branches on induction variables
+classify as uniform, so the control-divergent fractions reported by
+``repro analyze`` stay informative instead of saturating near 1.0.
+"""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.redundancy import analyze_build
+from repro.analysis.values import (
+    MemoryModel,
+    WORD,
+    affine,
+    analyze_values_cfg,
+    const,
+    injective,
+    interval_of,
+    is_varying,
+    is_widened,
+    join_value,
+    maybe,
+    uniform,
+)
+from repro.core.config import WorkloadType
+from repro.isa.assembler import assemble
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import APP_ORDER, get_profile
+
+
+def analyze_source(source, nctx=2, memory=None, sp_divergent=False):
+    prog = assemble(source)
+    cfg = CFG(prog.instructions, entry=prog.entry, name="test")
+    return cfg, analyze_values_cfg(
+        cfg, nctx, sp_divergent=sp_divergent, memory=memory
+    )
+
+
+# ------------------------------------------------------------------ lattice
+def test_join_identities():
+    c = const(7)
+    assert join_value(c, c) == c
+    u = uniform("x", 0, 10)
+    assert join_value(u, u) == u
+
+
+def test_join_different_constants_is_maybe_with_hull():
+    v = join_value(const(3), const(9))
+    assert is_varying(v)
+    assert interval_of(v) == (3, 9)
+
+
+def test_join_uniform_same_number_keeps_uniformity():
+    a = uniform("site", 0, 4)
+    b = uniform("site", 2, 8)
+    v = join_value(a, b)
+    assert not is_varying(v)
+    assert interval_of(v) == (0, 8)
+
+
+def test_join_uniform_different_numbers_degrades():
+    v = join_value(uniform("a", 0, 4), uniform("b", 0, 4))
+    assert is_varying(v)
+
+
+def test_affine_interval_from_endpoints():
+    v = affine("s", 8, 100, nctx=4)  # 100, 108, 116, 124
+    assert interval_of(v) == (100, 124)
+    w = affine("s", -8, 100, nctx=4)
+    assert interval_of(w) == (76, 100)
+
+
+def test_widened_marker():
+    assert is_widened(uniform(("w", 3, 5), 0, None))
+    assert not is_widened(uniform("plain", 0, None))
+    assert is_widened(affine("s", 8, ("w", 3, 5), nctx=2))
+    assert not is_widened(affine("s", 8, 0, nctx=2))
+    assert not is_widened(const(1))
+    assert not is_widened(maybe(0, 1))
+    assert not is_widened(injective("s", None, None))
+
+
+# ----------------------------------------------------- widening in the loop
+LOOP = """
+    li r1, 0
+    li r2, 10
+Lloop:
+    addi r1, r1, 1
+    blt r1, r2, Lloop
+    halt
+"""
+
+
+def test_induction_variable_widens_to_uniform():
+    """The back-edge branch on a widened counter classifies uniform."""
+    cfg, va = analyze_source(LOOP)
+    branch_pc = next(
+        pc for pc, inst in enumerate(cfg.instructions) if inst.is_control
+    )
+    assert va.branch_classes[branch_pc] == "uniform"
+    assert va.widened_headers, "loop header should have widened"
+
+
+def test_widened_counter_keeps_stable_lower_bound():
+    """Widening drops the moving bound but keeps the stable one (0 <= i)."""
+    cfg, va = analyze_source(LOOP)
+    header = next(iter(va.widened_headers))
+    counter = va.block_in[header][1]  # r1
+    lo, _hi = interval_of(counter)
+    assert lo == 0
+    assert not is_varying(counter)
+
+
+def test_nested_loops_preserve_outer_invariant():
+    """Inner headers must not rename registers they never write."""
+    cfg, va = analyze_source(
+        """
+    li r1, 0
+    li r3, 3
+Louter:
+    li r2, 0
+Linner:
+    addi r2, r2, 1
+    blt r2, r3, Linner
+    addi r1, r1, 1
+    blt r1, r3, Louter
+    halt
+"""
+    )
+    for pc, klass in va.branch_classes.items():
+        assert klass == "uniform", f"branch at pc {pc} classified {klass}"
+
+
+def test_divergent_branch_still_detected():
+    """Widening must not paper over genuinely thread-varying control."""
+    cfg, va = analyze_source(
+        """
+    tid r1
+    li r2, 1
+    blt r1, r2, Lskip
+    addi r2, r2, 1
+Lskip:
+    halt
+"""
+    )
+    branch_pc = next(
+        pc for pc, inst in enumerate(cfg.instructions) if inst.is_control
+    )
+    assert va.branch_classes[branch_pc] != "uniform"
+
+
+# ------------------------------------------------------------- memory model
+def test_identical_words_classify_identical():
+    mem = MemoryModel({0: 5, WORD: 6})
+    identical, (lo, hi) = mem.classify_load(0, WORD)
+    assert identical
+    assert (lo, hi) == (5, 6)
+
+
+def test_per_context_overlays_break_identity():
+    mem = MemoryModel({0: 5}, overlays=({0: 5}, {0: 9}))
+    identical, _ = mem.classify_load(0, 0)
+    assert not identical
+
+
+def test_unmapped_words_read_zero_everywhere():
+    """An address no context maps reads 0 in every context: identical."""
+    mem = MemoryModel({0: 5})
+    identical, (lo, hi) = mem.classify_load(8 * WORD, 8 * WORD)
+    assert identical
+    assert (lo, hi) == (0, 0)
+
+
+def test_unbounded_range_scans_sparse():
+    """A half-open address range is classified by scanning mapped words."""
+    mem = MemoryModel({0: 5})
+    identical, (lo, hi) = mem.classify_load(0, None)
+    assert identical
+    assert lo == 0 and hi == 5
+    div = MemoryModel({0: 5}, overlays=({0: 5}, {0: 9}))
+    identical, _ = div.classify_load(0, None)
+    assert not identical
+
+
+def test_clobbered_word_unclassifiable():
+    mem = MemoryModel({0: 5})
+    mem.clobber(0, 0)
+    identical, _ = mem.classify_load(0, 0)
+    assert not identical
+
+
+def test_shared_memory_identity_survives_overlays():
+    """One shared space: every context reads the same word, always —
+    overlays cannot split it.  Clobbered ranges stay conservative here;
+    store-reached loads in shared mode are the transfer's business
+    (they become lockstep-uniform, a descriptive-tier claim)."""
+    mem = MemoryModel({0: 5}, overlays=({0: 5}, {0: 9}), shared=True)
+    identical, _ = mem.classify_load(0, 0)
+    assert identical
+    mem.clobber(0, 0)
+    identical, _ = mem.classify_load(0, 0)
+    assert not identical
+
+
+# ------------------------------------------- flow-sensitive store clobbering
+def test_store_after_load_does_not_clobber_it():
+    """A store no path runs before the load leaves it classifiable."""
+    src = """
+    li r1, 0
+    lw r2, 0(r1)
+    li r3, 7
+    sw r3, 0(r1)
+    halt
+"""
+    prog = assemble(src)
+    cfg = CFG(prog.instructions, entry=prog.entry, name="test")
+    va = analyze_values_cfg(
+        cfg, 2, sp_divergent=False, memory=MemoryModel({0: 5})
+    )
+    load_pc = next(
+        pc for pc, inst in enumerate(cfg.instructions) if inst.is_load
+    )
+    assert va.loads[load_pc].must_identical
+
+
+def test_store_before_load_clobbers_it():
+    src = """
+    li r1, 0
+    li r3, 7
+    sw r3, 0(r1)
+    lw r2, 0(r1)
+    halt
+"""
+    prog = assemble(src)
+    cfg = CFG(prog.instructions, entry=prog.entry, name="test")
+    va = analyze_values_cfg(
+        cfg, 2, sp_divergent=False, memory=MemoryModel({0: 5})
+    )
+    load_pc = next(
+        pc for pc, inst in enumerate(cfg.instructions) if inst.is_load
+    )
+    assert not va.loads[load_pc].must_identical
+
+
+# ------------------------------------------------- block-class regression
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        app: analyze_build(build_workload(get_profile(app), 2, scale=0.3))
+        for app in APP_ORDER
+    }
+
+
+def test_control_divergent_fraction_below_half_on_average(reports):
+    """ROADMAP regression: pre-widening ~99% of blocks were
+    control-divergent; with widening the built-in workloads' mean must
+    stay well under 50%."""
+    fractions = [r.control_divergent_fraction for r in reports.values()]
+    mean = sum(fractions) / len(fractions)
+    assert mean < 0.5, f"mean control-divergent fraction {mean:.3f}"
+
+
+def test_control_divergent_fraction_bounded_per_app(reports):
+    for app, r in reports.items():
+        assert r.control_divergent_fraction < 0.8, (
+            f"{app}: control-divergent fraction "
+            f"{r.control_divergent_fraction:.3f}"
+        )
+
+
+def test_multi_threaded_apps_have_uniform_control(reports):
+    """MT kernels branch only on widened counters and uniform data."""
+    for app, r in reports.items():
+        if get_profile(app).wtype is WorkloadType.MULTI_THREADED:
+            assert r.control_divergent_fraction == 0.0, app
+
+
+def test_widening_engages_on_every_builtin(reports):
+    for app, r in reports.items():
+        assert r.widened_loop_headers > 0, app

@@ -297,3 +297,91 @@ def test_successful_job_has_no_dump(cache, tmp_path):
     outcome = result.outcomes[0]
     assert outcome.ok and outcome.dump_path is None
     assert not list((tmp_path / "flight").glob("*.flight.json"))
+
+
+# --------------------------------------------------- oracle validation gate
+def test_run_points_validates_against_oracle(tmp_path, monkeypatch):
+    """Every successful simulation is cross-checked at aggregation time."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    points = [
+        CampaignJob("ammp", MMTConfig.mmt_fxr(), 2, scale=0.1),
+        CampaignJob("canneal", MMTConfig.base(), 2, scale=0.1),
+    ]
+    result = run_points(points, workers=2)
+    assert all(o.ok for o in result.outcomes)
+    assert result.validation_failures == []
+    assert summarize_campaign(result)["oracle_violations"] == 0
+    clear_cache()
+
+
+def test_validation_flags_a_corrupted_result(tmp_path, monkeypatch):
+    """A payload contradicting a static bound becomes a structured
+    campaign failure (this is what catches stale/corrupt cached results
+    and simulator regressions)."""
+    from repro.harness import experiment
+    from repro.harness.results import campaign_violation_rows
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    result = run_points(
+        [CampaignJob("ammp", MMTConfig.mmt_fxr(), 2, scale=0.1)], workers=1
+    )
+    assert result.validation_failures == []
+    # Corrupt the payload: pretend the LVIP checked a PC the static
+    # analysis says hosts no load.
+    payload = result.outcomes[0].payload
+    payload.stats.lvip_site_checks = dict(payload.stats.lvip_site_checks)
+    payload.stats.lvip_site_checks[999_999] = 1
+    violations = experiment.validate_campaign_result(result)
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.workload == payload.build.program.name
+    assert violation.config == "MMT-FXR"
+    assert any("999999" in p for p in violation.problems)
+    rows = campaign_violation_rows(result)
+    assert rows and rows[0]["config"] == "MMT-FXR"
+    assert summarize_campaign(result)["oracle_violations"] == 1
+    clear_cache()
+
+
+def test_validation_can_be_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    result = run_points(
+        [CampaignJob("ammp", MMTConfig.base(), 2, scale=0.1)],
+        workers=1, validate=False,
+    )
+    assert result.validation_failures == []
+    clear_cache()
+
+
+def test_validation_skips_non_simulation_payloads(cache):
+    """Custom runners' payloads pass through the gate untouched."""
+    from repro.harness import experiment
+
+    result = run_campaign([AddJob(2, 3)], add_runner, workers=1, cache=cache)
+    violations = experiment.validate_campaign_result(result)
+    assert violations == []
+
+
+def test_oracle_memo_reuses_reports(tmp_path, monkeypatch):
+    """One analysis per distinct (program, nctx, limit), not per job."""
+    from repro.harness import experiment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    experiment.clear_oracle_memo()
+    result = run_points(
+        [
+            CampaignJob("ammp", MMTConfig.base(), 2, scale=0.1),
+            CampaignJob("ammp", MMTConfig.mmt_fxr(), 2, scale=0.1),
+        ],
+        workers=2,
+    )
+    assert result.validation_failures == []
+    assert len(experiment._ORACLE_MEMO) == 1
+    report = experiment.oracle_for_run(result.outcomes[0].payload)
+    assert report is experiment.oracle_for_run(result.outcomes[1].payload)
+    experiment.clear_oracle_memo()
+    clear_cache()

@@ -63,13 +63,24 @@ def functional_reference(build):
     return regs, mems
 
 
-def pipeline_final_state(build, config, nctx):
-    """Final (regs, memory snapshots) after a cycle-level run."""
+def run_pipeline(build, config, nctx):
+    """Run one cycle-level simulation to completion; returns (core, job).
+
+    The shared executor of this suite and the oracle-soundness suite
+    (``test_lvip_soundness``): strict mode, so any MMT merging error
+    raises instead of corrupting the comparison.
+    """
     job = build.job()
     machine = MachineConfig(num_threads=max(2, nctx))
     core = SMTCore(machine, config, job, strict=True)
     core.run()
     assert all(state.halted for state in core.states)
+    return core, job
+
+
+def pipeline_final_state(build, config, nctx):
+    """Final (regs, memory snapshots) after a cycle-level run."""
+    core, job = run_pipeline(build, config, nctx)
     regs = [list(state.regs) for state in core.states]
     mems = [space.snapshot() for space in job.address_spaces]
     return regs, mems

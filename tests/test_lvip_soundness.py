@@ -1,0 +1,124 @@
+"""Static LVIP oracle vs dynamic runs: soundness across every workload.
+
+Every built-in application, under both the Base and MMT-FXR
+configurations, is simulated once and cross-checked against the static
+value-level oracle (``repro.analysis.values`` via ``analyze_build``):
+
+* ``OracleReport.validate_against`` must report no disagreements — the
+  dynamic merge fraction, RST sharing, LVIP hit rate and per-site LVIP
+  activity all stay inside their proven bounds;
+* the static LVIP hit-rate upper bound dominates the measured rate
+  (soundness), and is within 2x of it for several multi-execution
+  workloads (usefulness — a bound of "anything goes" would be sound
+  but worthless).
+
+Simulations reuse the differential suite's executor (strict mode), so a
+bound violation cannot be explained away by a merging bug silently
+corrupting state: strict mode would have raised first.
+"""
+
+import pytest
+
+from repro.analysis.redundancy import analyze_build
+from repro.core.config import MMTConfig, WorkloadType
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import APP_ORDER, get_profile
+
+from tests.test_differential import run_pipeline
+
+SCALE = 0.1
+NCTX = 2
+SEED = 12
+
+CONFIGS = [
+    ("Base", MMTConfig.base()),
+    ("MMT-FXR", MMTConfig.mmt_fxr()),
+]
+
+# One build, one oracle report, and one simulation per (app, config) for
+# the whole module — the parametrized assertions below all interrogate
+# the same runs.
+_builds: dict = {}
+_reports: dict = {}
+_stats: dict = {}
+
+
+def build_of(app):
+    if app not in _builds:
+        _builds[app] = build_workload(
+            get_profile(app), NCTX, scale=SCALE, seed=SEED
+        )
+    return _builds[app]
+
+
+def report_of(app):
+    if app not in _reports:
+        _reports[app] = analyze_build(build_of(app))
+    return _reports[app]
+
+
+def stats_of(app, label):
+    if (app, label) not in _stats:
+        config = dict(CONFIGS)[label]
+        core, _job = run_pipeline(build_of(app), config, NCTX)
+        _stats[app, label] = core.stats
+    return _stats[app, label]
+
+
+@pytest.mark.parametrize("label", [label for label, _ in CONFIGS])
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_oracle_consistent_with_dynamic_run(app, label):
+    """The full validate_against contract holds for every (app, config)."""
+    problems = report_of(app).validate_against(stats_of(app, label))
+    assert problems == [], f"{app}/{label}: {problems}"
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_static_lvip_bound_dominates_dynamic_rate(app):
+    """Soundness: measured MMT hit rate never exceeds the static bound."""
+    report = report_of(app)
+    stats = stats_of(app, "MMT-FXR")
+    assert stats.lvip_hit_rate() <= report.lvip_hit_rate_upper_bound + 1e-9
+
+
+@pytest.mark.parametrize(
+    "app",
+    [a for a in APP_ORDER
+     if get_profile(a).wtype is WorkloadType.MULTI_THREADED],
+)
+def test_multi_threaded_workloads_never_consult_lvip(app):
+    """MT jobs share one address space: no LVIP checks, bound pinned at 0."""
+    report = report_of(app)
+    stats = stats_of(app, "MMT-FXR")
+    assert not report.lvip_eligible
+    assert report.lvip_hit_rate_upper_bound == 0.0
+    assert stats.lvip_checks == 0
+
+
+def test_bound_within_2x_for_multiple_workloads():
+    """Usefulness: the bound is tight (<= 2x) where the LVIP actually runs."""
+    tight = []
+    for app in APP_ORDER:
+        if get_profile(app).wtype is not WorkloadType.MULTI_EXECUTION:
+            continue
+        stats = stats_of(app, "MMT-FXR")
+        rate = stats.lvip_hit_rate()
+        bound = report_of(app).lvip_hit_rate_upper_bound
+        if stats.lvip_checks and rate > 0 and bound <= 2 * rate:
+            tight.append(app)
+    assert len(tight) >= 2, f"bound within 2x only for {tight}"
+
+
+@pytest.mark.parametrize(
+    "app",
+    [a for a in APP_ORDER
+     if get_profile(a).wtype is WorkloadType.MULTI_EXECUTION],
+)
+def test_per_site_lvip_contract(app):
+    """Checked PCs are statically eligible; must-identical PCs never miss."""
+    report = report_of(app)
+    stats = stats_of(app, "MMT-FXR")
+    checked = frozenset(stats.lvip_site_checks)
+    assert checked <= report.lvip_eligible_pcs
+    missed = frozenset(stats.lvip_site_mispredicts)
+    assert not missed & report.lvip_must_identical_pcs

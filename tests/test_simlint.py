@@ -129,6 +129,28 @@ def test_sim004_guard_must_cover_the_emit(tmp_path):
     assert rules_of(findings) == {"SIM004"}
 
 
+def test_sim005_popitem(tmp_path):
+    findings = findings_for(tmp_path, "d = {1: 2}\nd.popitem()\n")
+    assert rules_of(findings) == {"SIM005"}
+
+
+def test_sim005_bare_pop(tmp_path):
+    findings = findings_for(tmp_path, "s = {1, 2}\ns.pop()\n")
+    assert rules_of(findings) == {"SIM005"}
+
+
+def test_sim005_pop_with_index_is_allowed(tmp_path):
+    assert findings_for(tmp_path, "xs = [1, 2]\nxs.pop(0)\n") == []
+    assert findings_for(tmp_path, "d = {1: 2}\nd.pop(1, None)\n") == []
+
+
+def test_sim005_marked_stack_pop_is_allowed(tmp_path):
+    findings = findings_for(
+        tmp_path, "xs = [1, 2]\nxs.pop()  # simlint: ignore — stack\n"
+    )
+    assert findings == []
+
+
 def test_ignore_marker_suppresses(tmp_path):
     findings = findings_for(
         tmp_path, "import time\nt = time.time()  # simlint: ignore\n"

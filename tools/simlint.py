@@ -21,6 +21,12 @@ when tracing is off.  This lint walks the AST of the simulator core
   whose condition mentions ``tracing`` (idiom: ``if self.obs.tracing:
   self.obs.emit(...)``), so the zero-observer hot path never builds event
   tuples.
+* **SIM005** — order-dependent removal: ``dict.popitem()`` and no-argument
+  ``.pop()`` calls.  ``set.pop()`` removes an arbitrary element and
+  ``dict.popitem()`` depends on insertion history; both smuggle container
+  order into simulation results.  Remove by explicit key/index instead.
+  Deterministic stack pops (lists, deques) carry ``# simlint: ignore``
+  with the receiver's type evident at the call site.
 
 Usage::
 
@@ -167,6 +173,25 @@ class _Linter(ast.NodeVisitor):
                     node, "SIM004",
                     f"{'.'.join(chain)}(...) is not guarded by the "
                     "precomputed tracing flag (idiom: `if self.obs.tracing:`)",
+                )
+        # SIM005: order-dependent removals.  popitem() is always suspect;
+        # a no-argument .pop() is set.pop() unless the receiver is
+        # provably a sequence — which the call site asserts with an
+        # ignore mark, keeping the burden of proof on the code.
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method == "popitem":
+                self._emit(
+                    node, "SIM005",
+                    "dict.popitem() removal order depends on insertion "
+                    "history; pop an explicit key instead",
+                )
+            elif method == "pop" and not node.args and not node.keywords:
+                self._emit(
+                    node, "SIM005",
+                    "no-argument .pop() removes an arbitrary element if the "
+                    "receiver is a set; pop an explicit index/key, or mark "
+                    "a deterministic stack pop with the ignore comment",
                 )
         self.generic_visit(node)
 
