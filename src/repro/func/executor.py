@@ -15,6 +15,7 @@ used in three roles:
 from __future__ import annotations
 
 import math
+from typing import NamedTuple
 
 from repro.func.state import ArchState
 from repro.isa.instruction import Instruction
@@ -41,42 +42,23 @@ class ExecutionError(RuntimeError):
     """
 
 
-class Executed:
-    """Record of one dynamically executed instruction."""
+class Executed(NamedTuple):
+    """Record of one dynamically executed instruction.
 
-    __slots__ = (
-        "pc",
-        "inst",
-        "src_vals",
-        "result",
-        "addr",
-        "store_val",
-        "taken",
-        "next_pc",
-        "tid",
-    )
+    A NamedTuple: records are immutable once emitted and constructed on the
+    simulator's hottest path (one per thread per fetched instruction), so
+    the C-level tuple constructor matters.
+    """
 
-    def __init__(
-        self,
-        pc: int,
-        inst: Instruction,
-        src_vals: tuple,
-        result,
-        addr: int | None,
-        store_val,
-        taken: bool | None,
-        next_pc: int,
-        tid: int,
-    ) -> None:
-        self.pc = pc
-        self.inst = inst
-        self.src_vals = src_vals
-        self.result = result
-        self.addr = addr
-        self.store_val = store_val
-        self.taken = taken
-        self.next_pc = next_pc
-        self.tid = tid
+    pc: int
+    inst: Instruction
+    src_vals: tuple
+    result: object
+    addr: int | None
+    store_val: object
+    taken: bool | None
+    next_pc: int
+    tid: int
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Executed t{self.tid} pc={self.pc} {self.inst!r} -> {self.result!r}>"

@@ -28,6 +28,7 @@ import time
 
 from repro.core.config import MMTConfig
 from repro.harness import experiment, figures, report, results
+from repro.pipeline.fast import ENGINES
 from repro.profiling.divergence import FIG2_BUCKETS
 
 #: Config names accepted by ``repro campaign --configs``.
@@ -186,7 +187,8 @@ def _trace(args) -> int:
         return 2
     config = CONFIG_FACTORIES[args.config]()
     run, obs = experiment.trace_run(
-        app, config, threads, scale=args.scale, interval=args.interval
+        app, config, threads, scale=args.scale, interval=args.interval,
+        engine=args.engine,
     )
     stats = run.stats
     rows = [
@@ -343,7 +345,7 @@ def _campaign(args) -> int:
         return 2
     jobs = [
         experiment.CampaignJob(app, CONFIG_FACTORIES[name](), threads,
-                               scale=args.scale)
+                               scale=args.scale, engine=args.engine)
         for app in apps
         for name in args.configs
         for threads in args.threads
@@ -507,6 +509,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally dump the figure's data rows as JSON to PATH",
     )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="reference",
+        help="simulation core: 'reference' (the proven SMTCore) or 'fast' "
+        "(the cycle-exact fast-path twin, see docs/fast-path.md); applies "
+        "to figures, campaign jobs, and traced runs (default: reference)",
+    )
     parallel = parser.add_argument_group("parallel execution")
     parallel.add_argument(
         "--workers",
@@ -625,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    experiment.set_default_engine(args.engine)
     if args.target == "list":
         width = max(len(name) for name in TARGETS)
         for name in sorted(TARGETS):

@@ -37,7 +37,7 @@ from repro.obs import (
     write_dump,
 )
 from repro.pipeline.config import MachineConfig
-from repro.pipeline.smt import SMTCore
+from repro.pipeline.fast import resolve_engine
 from repro.pipeline.stats import SimStats
 from repro.power.model import energy_of_run
 from repro.power.params import EnergyBreakdown, EnergyParams
@@ -70,7 +70,11 @@ class CampaignJob:
     ``machine=None`` means the default machine for the thread count, as
     in :func:`run_app`.  ``tag`` distinguishes otherwise-identical jobs
     (and is part of the cache key); runners that inject faults or extra
-    behaviours key off it.
+    behaviours key off it.  ``engine`` picks the simulation core
+    (``"reference"`` or ``"fast"``, see :mod:`repro.pipeline.fast`); it
+    is part of the cache key even though both engines are cycle-exact,
+    so a fast-engine bug can never poison reference results (and the
+    oracle gate cross-checks both populations independently).
     """
 
     app: str
@@ -80,6 +84,7 @@ class CampaignJob:
     scale: float = 1.0
     strict: bool = True
     tag: str = ""
+    engine: str = "reference"
 
     def label(self) -> str:
         return f"{self.app}/{self.config.name}/{self.threads}t" + (
@@ -90,15 +95,39 @@ class CampaignJob:
         """The in-memory memo key :func:`run_app` would use."""
         machine = _normalize_machine(self.machine, self.threads)
         return (self.app, self.config, self.threads, machine, self.scale,
-                self.strict)
+                self.strict, self.engine)
 
 
 _CACHE: dict[tuple, RunResult] = {}
+
+_DEFAULT_ENGINE = "reference"
 
 
 def clear_cache() -> None:
     """Drop all memoised runs (tests use this for isolation)."""
     _CACHE.clear()
+
+
+def set_default_engine(name: str) -> str:
+    """Select the engine used when a caller doesn't pass one explicitly.
+
+    Validates *name* against the engine registry (raising on unknown
+    names) and returns the previous default so callers can restore it.
+    The CLI's ``--engine`` flag routes every serial figure regenerator
+    through here; campaign jobs carry their engine explicitly, because
+    they execute in worker processes that never see this module-level
+    state.
+    """
+    global _DEFAULT_ENGINE
+    resolve_engine(name)
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    return previous
+
+
+def default_engine() -> str:
+    """The engine used when a caller doesn't pass one explicitly."""
+    return _DEFAULT_ENGINE
 
 
 def _normalize_machine(
@@ -120,6 +149,7 @@ def _simulate(
     obs: Observer | None = None,
     failure_dump: str | None = None,
     prepare=None,
+    engine: str | None = None,
 ) -> RunResult:
     """Run one simulation point (no caching at this level).
 
@@ -132,7 +162,8 @@ def _simulate(
     """
     build = build_workload(get_profile(app), threads, scale=scale)
     job = build.limit_job() if config.limit_identical else build.job()
-    core = SMTCore(machine, config, job, strict=strict, obs=obs)
+    core_cls = resolve_engine(engine or _DEFAULT_ENGINE)
+    core = core_cls(machine, config, job, strict=strict, obs=obs)
     if prepare is not None:
         prepare(core)
     try:
@@ -170,13 +201,16 @@ def run_app(
     scale: float = 1.0,
     strict: bool = True,
     use_cache: bool = True,
+    engine: str | None = None,
 ) -> RunResult:
     """Simulate *app* under *config* with *threads* hardware contexts."""
     machine = _normalize_machine(machine, threads)
-    key = (app, config, threads, machine, scale, strict)
+    engine = engine or _DEFAULT_ENGINE
+    key = (app, config, threads, machine, scale, strict, engine)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    result = _simulate(app, config, threads, machine, scale, strict)
+    result = _simulate(app, config, threads, machine, scale, strict,
+                       engine=engine)
     if use_cache:
         _CACHE[key] = result
     return result
@@ -197,7 +231,7 @@ def simulate_job(job: CampaignJob, seed: int) -> RunResult:
     obs = campaign_observer() if dump_path else None
     return _simulate(
         job.app, job.config, job.threads, machine, job.scale, job.strict,
-        obs=obs, failure_dump=dump_path,
+        obs=obs, failure_dump=dump_path, engine=job.engine,
     )
 
 
@@ -223,7 +257,7 @@ def simulate_job_faulty(job: CampaignJob, seed: int) -> RunResult:
     prepare = _wedge_fetch if job.tag == "livelock" else None
     return _simulate(
         job.app, job.config, job.threads, machine, job.scale, job.strict,
-        obs=obs, failure_dump=dump_path, prepare=prepare,
+        obs=obs, failure_dump=dump_path, prepare=prepare, engine=job.engine,
     )
 
 
@@ -236,6 +270,7 @@ def trace_run(
     interval: int = 1000,
     sink_capacity: int | None = None,
     strict: bool = True,
+    engine: str | None = None,
 ) -> tuple[RunResult, Observer]:
     """Run one point with full observability attached (``repro trace``).
 
@@ -250,7 +285,8 @@ def trace_run(
         recorder=FlightRecorder(),
         watchdog_cycles=DEFAULT_WATCHDOG_CYCLES,
     )
-    result = _simulate(app, config, threads, machine, scale, strict, obs=obs)
+    result = _simulate(app, config, threads, machine, scale, strict, obs=obs,
+                       engine=engine)
     return result, obs
 
 

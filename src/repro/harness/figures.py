@@ -15,6 +15,7 @@ from repro.harness.campaign import run_campaign
 from repro.harness.experiment import (
     CampaignJob,
     default_apps,
+    default_engine,
     geomean,
     run_app,
     run_points,
@@ -333,10 +334,15 @@ def figure_points(
     """
     apps = list(apps or default_apps())
     points: list[CampaignJob] = []
+    # Jobs ship to worker processes, so the session's default engine is
+    # pinned onto each one; the serial memo keys then line up with what
+    # the figure regenerators will ask for.
+    engine = default_engine()
 
     def add(config, threads, machine=None):
         points.extend(
-            CampaignJob(app, config, threads, machine=machine, scale=scale)
+            CampaignJob(app, config, threads, machine=machine, scale=scale,
+                        engine=engine)
             for app in apps
         )
 

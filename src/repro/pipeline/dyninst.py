@@ -29,36 +29,11 @@ class DynInst:
     for all owners.  ``execs`` maps each owning thread to its functional
     oracle record, carrying the true operand values, result, memory address,
     and next PC for that thread.
-    """
 
-    __slots__ = (
-        "seq",
-        "pc",
-        "inst",
-        "itid",
-        "execs",
-        "fetch_mode",
-        "fetch_merged_width",
-        "state",
-        "psrcs",
-        "pdst",
-        "pdst_by_tid",
-        "prev_map",
-        "merged_via_regmerge",
-        "is_exec_merged",
-        "complete_cycle",
-        "pred_taken",
-        "pred_target",
-        "mispredicted",
-        "lvip_predicted_identical",
-        "mem_pending",
-        "mem_done_count",
-        "store_committed_count",
-        "lsq_index",
-        "halt",
-        "dead",
-        "lvip_mispredicted",
-    )
+    Deliberately *not* ``__slots__``: the fast engine initialises entries by
+    installing a prototype ``__dict__`` copy, which needs a plain instance
+    dict.
+    """
 
     def __init__(
         self,

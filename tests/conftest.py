@@ -1,0 +1,58 @@
+"""Shared pytest configuration: test tiers and fuzz budgets.
+
+The suite is split into two tiers (see README's "Running the tests"):
+
+* **Tier 1** — every unmarked test.  Runs on each commit
+  (``python -m pytest -x -q``); the differential fuzz suites use their
+  small default budget.
+* **Tier 2** — tests marked ``slow`` (deep sweeps) and ``bench``
+  (wall-clock regression gates).  Nightly CI enables them with
+  ``--run-slow --run-bench`` and widens the fuzz budget with
+  ``--runs=200``.
+
+Marked tests are *skipped* (visibly, with the enabling flag in the
+reason) rather than deselected, so a plain run still shows they exist.
+Selecting them explicitly with ``-m slow`` / ``-m bench`` also works.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seeded programs per configuration for the differential fuzz "
+        "suites (default: a small tier-1 budget; nightly CI uses 200)",
+    )
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked 'slow' (tier 2 / nightly)",
+    )
+    parser.addoption(
+        "--run-bench",
+        action="store_true",
+        default=False,
+        help="run tests marked 'bench' (wall-clock regression gates)",
+    )
+
+
+def _enabled(config, marker: str, flag: str) -> bool:
+    markexpr = config.getoption("-m") or ""
+    return config.getoption(flag) or marker in markexpr
+
+
+def pytest_collection_modifyitems(config, items):
+    skip_slow = pytest.mark.skip(reason="tier 2: pass --run-slow")
+    skip_bench = pytest.mark.skip(reason="bench gate: pass --run-bench")
+    slow_on = _enabled(config, "slow", "--run-slow")
+    bench_on = _enabled(config, "bench", "--run-bench")
+    for item in items:
+        if not slow_on and "slow" in item.keywords:
+            item.add_marker(skip_slow)
+        if not bench_on and "bench" in item.keywords:
+            item.add_marker(skip_bench)

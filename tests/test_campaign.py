@@ -385,3 +385,59 @@ def test_oracle_memo_reuses_reports(tmp_path, monkeypatch):
     assert report is experiment.oracle_for_run(result.outcomes[1].payload)
     experiment.clear_oracle_memo()
     clear_cache()
+
+# --------------------------------------- fast-engine jobs through the gate
+def test_fast_engine_results_validated_including_cache_hits(
+    tmp_path, monkeypatch
+):
+    """Fast-engine campaign results flow through the oracle gate exactly
+    like reference ones — fresh *and* served from the on-disk cache (a
+    stale cached result from a buggy fast-engine version is precisely
+    what the aggregation-time cross-check exists to catch)."""
+    from repro.harness import experiment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    clear_cache()
+    points = [
+        CampaignJob("ammp", MMTConfig.mmt_fxr(), 2, scale=0.1, engine="fast"),
+        CampaignJob("lu", MMTConfig.base(), 2, scale=0.1, engine="fast"),
+    ]
+    first = run_points(points, workers=2)
+    assert all(o.ok and not o.from_cache for o in first.outcomes)
+    assert first.validation_failures == []
+
+    clear_cache()
+    second = run_points(points, workers=2)
+    assert all(o.ok and o.from_cache for o in second.outcomes)
+    assert second.validation_failures == []
+
+    # Corrupt one cached payload: the gate must flag it even though the
+    # simulation never re-ran.
+    payload = second.outcomes[0].payload
+    payload.stats.lvip_site_checks = dict(payload.stats.lvip_site_checks)
+    payload.stats.lvip_site_checks[999_999] = 1
+    violations = experiment.validate_campaign_result(second)
+    assert len(violations) == 1
+    assert any("999999" in p for p in violations[0].problems)
+    clear_cache()
+
+
+def test_engines_never_share_cache_entries_or_memo_keys(tmp_path, monkeypatch):
+    """The engine is part of both the on-disk cache key and the serial
+    memo key, so a fast-engine bug can never poison reference results."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "simcache"))
+    ref = CampaignJob("fft", MMTConfig.base(), 2, scale=0.1)
+    fast = dataclasses.replace(ref, engine="fast")
+    assert job_key(ref) != job_key(fast)
+    assert ref.memo_key() != fast.memo_key()
+
+    clear_cache()
+    result = run_points([ref, fast], workers=2)
+    assert all(o.ok for o in result.outcomes)
+    assert result.validation_failures == []
+    by_engine = {o.job.engine: o.payload for o in result.outcomes}
+    # Cycle-exact across the campaign path too.
+    assert (
+        by_engine["fast"].stats.__dict__ == by_engine["reference"].stats.__dict__
+    )
+    clear_cache()

@@ -63,16 +63,24 @@ def functional_reference(build):
     return regs, mems
 
 
-def run_pipeline(build, config, nctx):
+def run_pipeline(build, config, nctx, core_cls=SMTCore, obs=None, trace=None):
     """Run one cycle-level simulation to completion; returns (core, job).
 
-    The shared executor of this suite and the oracle-soundness suite
-    (``test_lvip_soundness``): strict mode, so any MMT merging error
-    raises instead of corrupting the comparison.
+    The shared executor of this suite, the oracle-soundness suite
+    (``test_lvip_soundness``) and the fast-engine differential suite
+    (``test_fastpath_differential``): strict mode, so any MMT merging
+    error raises instead of corrupting the comparison.  *core_cls*
+    selects the engine (default: the reference core); *obs* attaches an
+    observer; *trace* is the fast engine's per-cycle trace sink.
     """
-    job = build.job()
+    job = build.limit_job() if config.limit_identical else build.job()
     machine = MachineConfig(num_threads=max(2, nctx))
-    core = SMTCore(machine, config, job, strict=True)
+    kwargs = {}
+    if obs is not None:
+        kwargs["obs"] = obs
+    if trace is not None:
+        kwargs["trace"] = trace
+    core = core_cls(machine, config, job, strict=True, **kwargs)
     core.run()
     assert all(state.halted for state in core.states)
     return core, job

@@ -1,0 +1,48 @@
+"""CI regression gate for the fast-path engine's speedup.
+
+Marked ``bench`` (tier 2): a plain ``pytest`` run skips it; CI's bench
+job and nightly enable it with ``--run-bench``.  It runs the fig5a smoke
+sweep (four apps, every configuration, both engines) at a reduced scale,
+appends the record to the workspace ``BENCH_fastpath.json`` trajectory so
+the job's artifact shows the measured numbers, and fails if the
+fast/reference aggregate speedup drops below the pinned floor.
+
+The floor (:data:`repro.harness.fastbench.PINNED_MIN_SPEEDUP`) sits well
+below the recorded ~2.9x so shared-runner noise cannot flake the gate
+while outright de-optimisations of the fast loop still trip it.
+"""
+
+import pytest
+
+from repro.harness.fastbench import (
+    PINNED_MIN_SPEEDUP,
+    SMOKE_APPS,
+    append_trajectory,
+    run_fastpath_bench,
+)
+
+#: Big enough that per-point wall times are milliseconds, not microseconds
+#: (timer noise), small enough for a commit-gate job.
+SMOKE_SCALE = 0.5
+
+
+@pytest.mark.bench
+def test_fastpath_speedup_gate(capsys):
+    with capsys.disabled():
+        print(
+            f"\nfastpath bench gate: {len(SMOKE_APPS)} apps x 5 configs, "
+            f"scale {SMOKE_SCALE}, floor {PINNED_MIN_SPEEDUP}x"
+        )
+        record = run_fastpath_bench(scale=SMOKE_SCALE, progress=print)
+        print(
+            f"aggregate {record['aggregate_speedup']}x "
+            f"(per-point {record['min_speedup']}x–{record['max_speedup']}x)"
+        )
+    append_trajectory(record)
+    assert record["aggregate_speedup"] is not None
+    assert record["aggregate_speedup"] >= PINNED_MIN_SPEEDUP, (
+        f"fast engine regressed: aggregate speedup "
+        f"{record['aggregate_speedup']}x fell below the pinned "
+        f"{PINNED_MIN_SPEEDUP}x floor (per-point min "
+        f"{record['min_speedup']}x)"
+    )
