@@ -27,15 +27,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
 import pickle
+import sys
 import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.obs.runlog import RunLog
+
+#: Distinguishes run-logs of campaigns started in the same process and
+#: second (the default file name is stamp + pid + this sequence).
+_RUNLOG_SEQ = itertools.count()
 
 #: Default cache root (override with the REPRO_CACHE_DIR environment
 #: variable or the ``cache_dir`` argument).
@@ -172,29 +180,32 @@ class ResultCache:
         return self.path_for(key).exists()
 
 
-def _wrap_cache_entry(payload, wall_time: float, max_rss_kb: int) -> dict:
+def _wrap_cache_entry(payload, wall_time: float, max_rss_bytes: int) -> dict:
     """Cache entries carry the run's cost next to its payload, so cache
     hits can still report wall-clock and peak RSS in campaign summaries."""
     return {
         "__campaign__": 1,
         "payload": payload,
         "wall_time": wall_time,
-        "max_rss_kb": max_rss_kb,
+        "max_rss_bytes": max_rss_bytes,
     }
 
 
 def _unwrap_cache_entry(entry) -> tuple[object, float, int]:
-    """(payload, wall_time, max_rss_kb) of a cache entry.
+    """(payload, wall_time, max_rss_bytes) of a cache entry.
 
     Raw payloads (entries written before cost recording existed, or by
-    hand) pass through with zero cost metadata.
+    hand) pass through with zero cost metadata.  Entries written while
+    peak RSS was recorded in raw ``ru_maxrss`` units (the pre-bytes
+    ``max_rss_kb`` key) are unreachable in practice — the code
+    fingerprint that partitions the cache changed with this code — but
+    normalize them anyway rather than misreport by 1024x.
     """
     if isinstance(entry, dict) and entry.get("__campaign__") == 1:
-        return (
-            entry["payload"],
-            entry.get("wall_time", 0.0),
-            entry.get("max_rss_kb", 0),
-        )
+        rss = entry.get("max_rss_bytes")
+        if rss is None:
+            rss = entry.get("max_rss_kb", 0) * 1024
+        return entry["payload"], entry.get("wall_time", 0.0), rss
     return entry, 0.0, 0
 
 
@@ -212,9 +223,10 @@ class JobOutcome:
     wall_time: float = 0.0
     from_cache: bool = False
     seed: int = 0
-    #: Worker peak RSS in KB (``ru_maxrss``); for cache hits, the value
-    #: recorded when the entry was produced.
-    max_rss_kb: int = 0
+    #: Worker peak RSS in **bytes** (``ru_maxrss`` normalized — Linux
+    #: reports KiB, macOS bytes); for cache hits, the value recorded when
+    #: the entry was produced.
+    max_rss_bytes: int = 0
     #: Flight-recorder dump written by a failed/hung attempt, if any.
     dump_path: str | None = None
 
@@ -232,6 +244,9 @@ class CampaignResult:
     cache_misses: int = 0
     retries: int = 0
     wall_time: float = 0.0
+    #: Path of the JSONL lifecycle run-log written for this campaign (see
+    #: :mod:`repro.obs.runlog`), or None when logging was disabled.
+    runlog_path: str | None = None
     #: Post-hoc validation failures attached at aggregation time (the
     #: campaign layer is validation-agnostic; see
     #: ``repro.harness.experiment.validate_campaign_result``, which checks
@@ -262,14 +277,22 @@ class CampaignResult:
 
 
 # ------------------------------------------------------------------ worker
-def _max_rss_kb() -> int:
-    """This process's peak RSS in KB (0 where rusage is unavailable)."""
+def _max_rss_bytes() -> int:
+    """This process's peak RSS in bytes (0 where rusage is unavailable).
+
+    ``ru_maxrss`` is reported in KiB on Linux but in bytes on macOS —
+    normalize here, once, so every consumer downstream (cache entries,
+    summaries, the run-log, the campaign table) sees bytes.
+    """
     try:
         import resource
 
-        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        raw = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     except Exception:  # pragma: no cover - non-POSIX platform
         return 0
+    if sys.platform == "darwin":  # pragma: no cover - macOS only
+        return raw
+    return raw * 1024
 
 
 def _worker_entry(conn, runner, job, seed, dump_path=None) -> None:
@@ -298,13 +321,13 @@ def _worker_entry(conn, runner, job, seed, dump_path=None) -> None:
     try:
         payload = runner(job, seed)
         conn.send(
-            (_OK, payload, time.perf_counter() - started, _max_rss_kb())
+            (_OK, payload, time.perf_counter() - started, _max_rss_bytes())
         )
     except BaseException as exc:  # noqa: BLE001 - reported, not fatal
         try:
             conn.send(
                 (_FAILED, f"{type(exc).__name__}: {exc}",
-                 time.perf_counter() - started, _max_rss_kb())
+                 time.perf_counter() - started, _max_rss_bytes())
             )
         except Exception:
             pass
@@ -354,6 +377,7 @@ def run_campaign(
     progress=None,
     poll_interval: float = 0.02,
     failure_dump_dir: str | Path | None = None,
+    runlog: RunLog | str | Path | bool | None = None,
 ) -> CampaignResult:
     """Execute *jobs* through *runner* across worker processes.
 
@@ -374,6 +398,11 @@ def run_campaign(
       worker gets a per-job dump path under the directory, and a failed
       or hung job whose runner left a dump behind has its
       :attr:`JobOutcome.dump_path` set to it.
+    * ``runlog`` selects the JSONL lifecycle log: a :class:`RunLog` or a
+      path to append to, ``None`` (the default) to write one next to the
+      result cache (``<cache-root>/runlog/``) when caching is enabled, or
+      ``False`` to disable logging outright.  The written path lands in
+      :attr:`CampaignResult.runlog_path`.
     """
     jobs = list(jobs)
     result = CampaignResult(outcomes=[None] * len(jobs))
@@ -385,6 +414,31 @@ def run_campaign(
     else:
         cache = None
     emit = progress if callable(progress) else (lambda line: None)
+
+    log: RunLog | None = None
+    close_log = False
+    if isinstance(runlog, RunLog):
+        log = runlog
+    elif runlog is False:
+        log = None
+    elif runlog is not None:
+        log = RunLog(runlog)
+        close_log = True
+    elif cache is not None:
+        # Second-resolution stamps collide for back-to-back campaigns in
+        # one process (tests, scripted sweeps); the per-process sequence
+        # number keeps every campaign in its own file.
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        seq = next(_RUNLOG_SEQ)
+        log = RunLog(
+            cache.root / "runlog"
+            / f"campaign-{stamp}-{os.getpid()}-{seq}.jsonl"
+        )
+        close_log = True
+    if log is not None:
+        result.runlog_path = str(log.path)
+        log.emit("campaign_begin", jobs=len(jobs))
+
     started = time.perf_counter()
     done = 0
     total = len(jobs)
@@ -403,6 +457,30 @@ def run_campaign(
             detail += f"  (attempt {outcome.attempts})"
         emit(f"[{done:>{len(str(total))}}/{total}] {tag} "
              f"{job_label(outcome.job)}  {detail}")
+        if log is None:
+            return
+        label = job_label(outcome.job)
+        engine = getattr(outcome.job, "engine", None)
+        if outcome.from_cache:
+            log.emit(
+                "job_cache_hit", job=label, key=outcome.key,
+                wall_s=outcome.wall_time,
+                max_rss_bytes=outcome.max_rss_bytes, engine=engine,
+            )
+        elif outcome.ok:
+            log.emit(
+                "job_finished", job=label, key=outcome.key,
+                wall_s=outcome.wall_time,
+                max_rss_bytes=outcome.max_rss_bytes, engine=engine,
+                attempts=outcome.attempts,
+            )
+        else:
+            log.emit(
+                "job_failed", job=label, key=outcome.key,
+                status=outcome.status, error=outcome.error,
+                wall_s=outcome.wall_time, attempts=outcome.attempts,
+                dump=outcome.dump_path,
+            )
 
     # Phase 1: serve everything we can from the cache.
     pending: deque = deque()
@@ -416,7 +494,7 @@ def run_campaign(
             finish(index, JobOutcome(
                 job=job, key=key, status=_OK, payload=payload,
                 attempts=0, wall_time=cached_wall, from_cache=True,
-                seed=seed, max_rss_kb=cached_rss,
+                seed=seed, max_rss_bytes=cached_rss,
             ))
         else:
             if cache is not None:
@@ -453,6 +531,11 @@ def run_campaign(
                     )
                     proc.start()
                     child_conn.close()
+                    if log is not None:
+                        log.emit(
+                            "job_started", job=job_label(job), key=key,
+                            attempt=attempt,
+                        )
                     running.append(
                         _Running(index, job, key, seed, attempt, proc,
                                  parent_conn, dump_path)
@@ -493,13 +576,19 @@ def run_campaign(
                             job=entry.job, key=entry.key, status=_OK,
                             payload=payload, attempts=entry.attempt,
                             wall_time=wall, seed=entry.seed,
-                            max_rss_kb=rss,
+                            max_rss_bytes=rss,
                         ))
                     elif entry.attempt <= retries:
                         result.retries += 1
                         emit(f"[retry] {job_label(entry.job)}  {error}"
                              f"  (attempt {entry.attempt} of "
                              f"{retries + 1})")
+                        if log is not None:
+                            log.emit(
+                                "job_retried", job=job_label(entry.job),
+                                key=entry.key, attempt=entry.attempt,
+                                error=error,
+                            )
                         pending.append(
                             (entry.index, entry.job, entry.key, entry.seed,
                              entry.attempt + 1)
@@ -513,13 +602,34 @@ def run_campaign(
                             job=entry.job, key=entry.key, status=status,
                             error=error, attempts=entry.attempt,
                             wall_time=wall, seed=entry.seed,
-                            max_rss_kb=rss, dump_path=dump,
+                            max_rss_bytes=rss, dump_path=dump,
                         ))
                 running = still
         finally:
             for entry in running:  # pragma: no cover - interrupted campaign
                 _terminate(entry.proc)
     result.wall_time = time.perf_counter() - started
+    if log is not None:
+        # Aggregate speedup: serial job wall (cache hits contribute the
+        # wall recorded when their entry was produced) over campaign wall.
+        job_wall = sum(
+            o.wall_time for o in result.outcomes if o is not None
+        )
+        log.emit(
+            "campaign_end",
+            wall_s=result.wall_time,
+            ok=len(result.completed),
+            failed=len(result.failures),
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            retries=result.retries,
+            speedup=(
+                round(job_wall / result.wall_time, 3)
+                if result.wall_time > 0 else 0.0
+            ),
+        )
+        if close_log:
+            log.close()
     return result
 
 

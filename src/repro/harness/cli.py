@@ -28,18 +28,9 @@ import time
 
 from repro.core.config import MMTConfig
 from repro.harness import experiment, figures, report, results
+from repro.harness.experiment import CONFIG_FACTORIES
 from repro.pipeline.fast import ENGINES
 from repro.profiling.divergence import FIG2_BUCKETS
-
-#: Config names accepted by ``repro campaign --configs``.
-CONFIG_FACTORIES = {
-    "Base": MMTConfig.base,
-    "MMT-F": MMTConfig.mmt_f,
-    "MMT-FX": MMTConfig.mmt_fx,
-    "MMT-FXR": MMTConfig.mmt_fxr,
-    "MMT-FXR+H": MMTConfig.mmt_fxr_hints,
-    "Limit": MMTConfig.limit,
-}
 
 
 def _fig1(args) -> str:
@@ -399,7 +390,8 @@ def _campaign(args) -> int:
             "source": "cache" if outcome.from_cache else "run",
             "wall_s": outcome.wall_time,
             "rss_mb": (
-                outcome.max_rss_kb / 1024 if outcome.max_rss_kb else "-"
+                outcome.max_rss_bytes / (1024 * 1024)
+                if outcome.max_rss_bytes else "-"
             ),
             "cycles": outcome.payload.stats.cycles if outcome.ok else "-",
             "ipc": outcome.payload.stats.ipc() if outcome.ok else "-",
@@ -432,14 +424,117 @@ def _campaign(args) -> int:
             title="Oracle violations (dynamic run contradicted a "
                   "static bound — FATAL)",
         ))
+    if result.runlog_path:
+        print(f"\n[campaign run-log written to {result.runlog_path}]")
     if args.json:
         results.dump_campaign(result, args.json)
         print(f"\n[campaign record written to {args.json}]")
+    if args.metrics:
+        from pathlib import Path
+
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(results.campaign_metrics(result).render())
+        print(f"\n[Prometheus metrics written to {args.metrics}]")
     if violations:
         return 1
     # Partial failure is reported, not fatal; a sweep where *nothing*
     # succeeded is an error for scripting purposes.
     return 0 if (not jobs or result.completed) else 1
+
+
+# ----------------------------------------------------------------- profile
+def _profile(args) -> int:
+    """Host self-profile of one point: where does the wall-clock go?"""
+    apps = args.apps or experiment.default_apps()
+    app = apps[0]
+    threads = args.threads[0]
+    if args.config not in CONFIG_FACTORIES:
+        known = ", ".join(sorted(CONFIG_FACTORIES))
+        print(f"unknown config {args.config!r}; choose from: {known}")
+        return 2
+    config = CONFIG_FACTORIES[args.config]()
+    stats, prof = experiment.profile_run(
+        app, config, threads, scale=args.scale, engine=args.engine,
+        record_slices=bool(args.chrome),
+    )
+    rows = [
+        {
+            "region": row["region"],
+            "calls": row["calls"],
+            "self_ms": row["self_s"] * 1e3,
+            "share": row["share"],
+        }
+        for row in prof.report_rows()
+    ]
+    print(report.format_table(
+        rows,
+        columns=["region", "calls", "self_ms", "share"],
+        title=(f"Host profile — {app}/{config.name}/{threads}t, "
+               f"engine {args.engine}"),
+    ))
+    committed = stats.committed_thread_insts
+    pairs = [
+        ("wall_s", f"{prof.total_wall:.3f}"),
+        ("cycles", str(stats.cycles)),
+        ("committed_insts", str(committed)),
+        ("host_us_per_inst",
+         f"{prof.total_wall * 1e6 / committed:.3f}" if committed else "-"),
+        ("sim_cycles_per_host_s",
+         f"{stats.cycles / prof.total_wall:.0f}" if prof.total_wall else "-"),
+    ]
+    print(report.format_pairs(pairs, title="Host totals"))
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        document = prof.as_dict()
+        document.update(
+            {"app": app, "config": config.name, "threads": threads,
+             "scale": args.scale, "engine": args.engine,
+             "cycles": stats.cycles, "committed_insts": committed}
+        )
+        Path(args.json).write_text(
+            _json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[host profile written to {args.json}]")
+    if args.chrome:
+        prof.write_chrome_trace(args.chrome)
+        print(f"[Chrome trace for Perfetto written to {args.chrome}]")
+    return 0
+
+
+# ------------------------------------------------------------------ replay
+def _replay(args) -> int:
+    """Post-mortem: re-run the point recorded in a flight dump."""
+    if not args.dump:
+        print("replay requires --dump PATH (a flight-recorder dump)")
+        return 2
+    try:
+        replay = experiment.replay_dump(
+            args.dump, validate=not args.no_validate, interval=args.interval
+        )
+    except (OSError, ValueError) as exc:
+        print(f"replay failed: {exc}")
+        return 2
+    spec = replay.spec
+    print(f"replaying {spec['app']}/{spec['config']}/{spec['threads']}t "
+          f"(scale {spec.get('scale', 1.0)}, engine "
+          f"{spec.get('engine', 'reference')}) from {args.dump}")
+    original = replay.dump.get("error")
+    if original:
+        print(f"original failure: {original}")
+    stats = replay.run.stats
+    print(f"replay finished: {stats.cycles} cycles, IPC {stats.ipc():.3f}")
+    if replay.problems:
+        print("REPLAY VALIDATION FAILED:")
+        for line in replay.problems:
+            print(f"  {line}")
+        return 1
+    if not args.no_validate:
+        print("replay clean — oracle bounds hold and interval sums "
+              "reconcile exactly")
+    return 0
 
 
 TARGETS = {
@@ -485,11 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(TARGETS) + ["analyze", "list", "campaign", "trace"],
+        choices=sorted(TARGETS)
+        + ["analyze", "list", "campaign", "trace", "profile", "replay"],
         help="which table/figure to regenerate ('list' to enumerate; "
         "'campaign' runs a parallel batch sweep; 'trace' runs one point "
-        "with event tracing and interval metrics; 'analyze' statically "
-        "lints workloads and reports redundancy-oracle bounds)",
+        "with event tracing and interval metrics; 'profile' runs one "
+        "point under the host self-profiler; 'replay' re-runs a flight "
+        "dump under the oracle gate; 'analyze' statically lints "
+        "workloads and reports redundancy-oracle bounds)",
     )
     parser.add_argument(
         "--scale",
@@ -512,10 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine",
         choices=sorted(ENGINES),
-        default="reference",
+        default=None,
         help="simulation core: 'reference' (the proven SMTCore) or 'fast' "
         "(the cycle-exact fast-path twin, see docs/fast-path.md); applies "
-        "to figures, campaign jobs, and traced runs (default: reference)",
+        "to figures, campaign jobs, traced and profiled runs (default: "
+        "reference, except 'profile' which defaults to fast)",
     )
     parallel = parser.add_argument_group("parallel execution")
     parallel.add_argument(
@@ -592,6 +691,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for flight-recorder dumps of failed/hung jobs "
         "(default .repro-flight; pass '' to disable)",
     )
+    campaign.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write campaign metrics in Prometheus text exposition "
+        "format to PATH",
+    )
     analyze = parser.add_argument_group("analyze target")
     analyze.add_argument(
         "--all-workloads",
@@ -630,11 +736,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace_event JSON (Perfetto-loadable) to PATH",
     )
+    replay = parser.add_argument_group("replay target")
+    replay.add_argument(
+        "--dump",
+        metavar="PATH",
+        default=None,
+        help="flight-recorder dump to replay (written to --dump-dir by a "
+        "failed campaign job)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # The self-profiler exists to explain fast-loop wall-clock, so
+    # `profile` defaults to the fast engine; everything else stays on
+    # the reference core unless asked.
+    if args.engine is None:
+        args.engine = "fast" if args.target == "profile" else "reference"
     experiment.set_default_engine(args.engine)
     if args.target == "list":
         width = max(len(name) for name in TARGETS)
@@ -644,6 +763,10 @@ def main(argv=None) -> int:
               "result caching")
         print(f"{'trace'.ljust(width)}  one observed run: events, interval "
               "metrics, Perfetto export")
+        print(f"{'profile'.ljust(width)}  host self-profile: wall-clock by "
+              "rare-path region")
+        print(f"{'replay'.ljust(width)}  re-run a flight dump under the "
+              "oracle gate")
         print(f"{'analyze'.ljust(width)}  static workload lint + redundancy "
               "oracle bounds")
         return 0
@@ -651,6 +774,10 @@ def main(argv=None) -> int:
         return _campaign(args)
     if args.target == "trace":
         return _trace(args)
+    if args.target == "profile":
+        return _profile(args)
+    if args.target == "replay":
+        return _replay(args)
     if args.target == "analyze":
         return _analyze(args)
     if args.workers:

@@ -44,6 +44,18 @@ from repro.power.params import EnergyBreakdown, EnergyParams
 from repro.workloads.generator import WorkloadBuild, build_workload
 from repro.workloads.profiles import APP_ORDER, get_profile
 
+#: Config names accepted by the CLI and recorded in failure dumps; keys
+#: equal ``MMTConfig.<factory>().name`` so a dump's ``config`` field maps
+#: straight back to its factory at replay time.
+CONFIG_FACTORIES = {
+    "Base": MMTConfig.base,
+    "MMT-F": MMTConfig.mmt_f,
+    "MMT-FX": MMTConfig.mmt_fx,
+    "MMT-FXR": MMTConfig.mmt_fxr,
+    "MMT-FXR+H": MMTConfig.mmt_fxr_hints,
+    "Limit": MMTConfig.limit,
+}
+
 
 @dataclass
 class RunResult:
@@ -176,6 +188,19 @@ def _simulate(
                 document = obs.recorder.dump(
                     core, error=f"{type(exc).__name__}: {exc}"
                 )
+            # Embed the job specification so the dump is replayable
+            # post-mortem (``repro replay`` / :func:`replay_dump`) without
+            # guessing which point produced it.  Fault injections
+            # (*prepare*) are deliberately not part of the spec: a replay
+            # re-runs the *point*, not the injected fault.
+            document["job"] = {
+                "app": app,
+                "config": config.name,
+                "threads": threads,
+                "scale": scale,
+                "strict": strict,
+                "engine": engine or _DEFAULT_ENGINE,
+            }
             try:
                 write_dump(document, failure_dump)
             except Exception:  # pragma: no cover - dump must not mask exc
@@ -288,6 +313,115 @@ def trace_run(
     result = _simulate(app, config, threads, machine, scale, strict, obs=obs,
                        engine=engine)
     return result, obs
+
+
+def profile_run(
+    app: str,
+    config: MMTConfig,
+    threads: int,
+    machine: MachineConfig | None = None,
+    scale: float = 1.0,
+    strict: bool = True,
+    engine: str | None = None,
+    record_slices: bool = False,
+):
+    """Run one point under the host self-profiler (``repro profile``).
+
+    Returns ``(stats, profiler)``: the final :class:`SimStats` plus the
+    :class:`~repro.obs.prof.HostProfiler` holding wall-clock attribution
+    across the rare-path regions (and the fast-loop residual).  Pass
+    ``record_slices=True`` to keep per-call slices for Perfetto export.
+    """
+    from repro.obs.prof import HostProfiler
+
+    machine = _normalize_machine(machine, threads)
+    build = build_workload(get_profile(app), threads, scale=scale)
+    job = build.limit_job() if config.limit_identical else build.job()
+    core_cls = resolve_engine(engine or _DEFAULT_ENGINE)
+    core = core_cls(machine, config, job, strict=strict)
+    prof = HostProfiler(record_slices=record_slices)
+    stats = prof.run(core)
+    return stats, prof
+
+
+@dataclass
+class ReplayResult:
+    """A post-mortem flight-dump replay, cross-checked against the oracle."""
+
+    dump_path: str
+    #: The job specification embedded in the dump.
+    spec: dict
+    #: The loaded dump document (ring events, core snapshot, error).
+    dump: dict
+    run: RunResult
+    obs: Observer
+    #: Static-oracle disagreements plus interval-reconciliation
+    #: mismatches from the replayed run; empty means the replay is clean.
+    problems: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def replay_dump(
+    path, *, validate: bool = True, interval: int = 1000
+) -> ReplayResult:
+    """Re-run the simulation point recorded in a flight dump.
+
+    Loads the dump, rebuilds the point from its embedded ``job`` spec,
+    and re-runs it under full observability (:func:`trace_run`).  Unless
+    *validate* is disabled, the replay is held to the same gates as a
+    campaign result: the static redundancy/value oracle
+    (:func:`oracle_for_run` → ``validate_against``, which includes the
+    per-site LVIP bounds) plus exact interval reconciliation — so a
+    post-mortem replay that contradicts a proven bound is reported, not
+    silently trusted.
+
+    Injected faults (the ``--inject-livelock`` demo) are not part of the
+    spec, so their replays run the *healthy* point; a dump from a genuine
+    simulator bug reproduces it, exception and all.  Dumps written before
+    specs were embedded raise ``ValueError``.
+    """
+    from repro.obs import load_dump
+
+    document = load_dump(path)
+    spec = document.get("job")
+    if not isinstance(spec, dict) or "app" not in spec:
+        raise ValueError(
+            f"flight dump {path} carries no job spec (written by an older "
+            "version?); cannot replay"
+        )
+    factory = CONFIG_FACTORIES.get(spec.get("config"))
+    if factory is None:
+        raise ValueError(
+            f"flight dump {path} names unknown config {spec.get('config')!r}"
+        )
+    run, obs = trace_run(
+        spec["app"],
+        factory(),
+        int(spec["threads"]),
+        scale=float(spec.get("scale", 1.0)),
+        strict=bool(spec.get("strict", True)),
+        engine=spec.get("engine"),
+        interval=interval,
+    )
+    problems: list[str] = []
+    if validate:
+        try:
+            report = oracle_for_run(run)
+            problems.extend(report.validate_against(run.stats))
+        except Exception as exc:  # noqa: BLE001 - reported as a problem
+            problems.append(
+                f"oracle analysis failed: {type(exc).__name__}: {exc}"
+            )
+        problems.extend(
+            f"interval {line}" for line in obs.interval.reconcile(run.stats)
+        )
+    return ReplayResult(
+        dump_path=str(path), spec=spec, dump=document, run=run, obs=obs,
+        problems=problems,
+    )
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,96 @@ def run_fastpath_bench(
     }
 
 
+#: Maximum fast-loop slowdown the sampled-telemetry gate tolerates: a
+#: SampledObserver with default-interval metrics must cost no more than
+#: 10% of the unobserved fast loop (issue acceptance criterion).
+MAX_SAMPLING_OVERHEAD = 1.10
+
+#: Sampling interval the overhead bench measures (the trace default).
+OVERHEAD_INTERVAL = 1000
+
+
+def run_sampling_overhead_bench(
+    app: str = "mcf",
+    config: MMTConfig | None = None,
+    threads: int = FIG5A_THREADS,
+    scale: float = 1.0,
+    interval: int = OVERHEAD_INTERVAL,
+    repeats: int = 3,
+    progress=None,
+) -> dict:
+    """Fast engine with vs without a :class:`SampledObserver` on one
+    fig5a point; returns the record (newest-last trajectory material).
+
+    Each repeat runs both variants on fresh cores from the same build and
+    asserts bit-identical final statistics plus exact interval
+    reconciliation — an overhead number from a perturbed simulation is
+    worthless.  Walls are best-of-*repeats* to shed scheduler noise;
+    ``overhead_ratio`` is sampled-best over plain-best.
+    """
+    from repro.obs import IntervalMetrics, SampledObserver
+
+    emit = progress if callable(progress) else (lambda line: None)
+    config = config or MMTConfig.mmt_fxr()
+    build = build_workload(get_profile(app), threads, scale=scale)
+    machine = MachineConfig(num_threads=threads)
+    fast_cls = resolve_engine("fast")
+    plain_walls, sampled_walls = [], []
+    for _ in range(repeats):
+        job = build.limit_job() if config.limit_identical else build.job()
+        plain = fast_cls(machine, config, job, strict=True)
+        start = time.perf_counter()
+        plain_stats = plain.run()
+        plain_walls.append(time.perf_counter() - start)
+
+        job = build.limit_job() if config.limit_identical else build.job()
+        metrics = IntervalMetrics(interval=interval)
+        sampled = fast_cls(
+            machine, config, job, strict=True,
+            obs=SampledObserver(interval=metrics),
+        )
+        start = time.perf_counter()
+        sampled_stats = sampled.run()
+        sampled_walls.append(time.perf_counter() - start)
+
+        if not sampled.ran_fast_loop:
+            raise AssertionError(
+                "sampled run fell back to the reference loop — the "
+                "overhead bench measures nothing"
+            )
+        if sampled_stats.__dict__ != plain_stats.__dict__:
+            raise AssertionError(
+                f"{app}/{config.name}: sampling perturbed the simulation"
+            )
+        mismatches = metrics.reconcile(sampled_stats)
+        if mismatches:
+            raise AssertionError(
+                f"{app}/{config.name}: interval sums failed to reconcile: "
+                + "; ".join(mismatches)
+            )
+    plain_best = min(plain_walls)
+    sampled_best = min(sampled_walls)
+    ratio = round(sampled_best / plain_best, 4) if plain_best > 0 else None
+    emit(
+        f"{app}/{config.name}: plain {plain_best:.3f}s, "
+        f"sampled {sampled_best:.3f}s (overhead {ratio}x)"
+    )
+    return {
+        "bench": "fastpath-sampling-overhead",
+        "app": app,
+        "config": config.name,
+        "threads": threads,
+        "scale": scale,
+        "interval": interval,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "samples": (plain_stats.cycles + interval - 1) // interval,
+        "plain_wall_s": round(plain_best, 4),
+        "sampled_wall_s": round(sampled_best, 4),
+        "overhead_ratio": ratio,
+    }
+
+
 def append_trajectory(record: dict, path=DEFAULT_TRAJECTORY) -> Path:
     """Append *record* to the JSON trajectory at *path* (a list)."""
     path = Path(path)

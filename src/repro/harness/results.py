@@ -65,7 +65,7 @@ def summarize_campaign(result) -> dict:
     executed = [o for o in outcomes if not o.from_cache]
     # Failed/hung attempts cost wall time too — count them.
     walls = [o.wall_time for o in executed]
-    rss = [o.max_rss_kb for o in outcomes if o.max_rss_kb > 0]
+    rss = [o.max_rss_bytes for o in outcomes if o.max_rss_bytes > 0]
     summary = {
         "jobs": len(outcomes),
         "ok": sum(1 for o in outcomes if o.ok),
@@ -81,10 +81,12 @@ def summarize_campaign(result) -> dict:
         "job_wall_total": sum(walls),
         "job_wall_mean": sum(walls) / len(walls) if walls else 0.0,
         "job_wall_max": max(walls) if walls else 0.0,
-        # Peak worker RSS in KB (cache hits report the value recorded
+        # Peak worker RSS in bytes (cache hits report the value recorded
         # when their entry was produced; zeros are "not measured").
-        "job_rss_max_kb": max(rss) if rss else 0,
-        "job_rss_mean_kb": sum(rss) / len(rss) if rss else 0.0,
+        "job_rss_max_bytes": max(rss) if rss else 0,
+        "job_rss_mean_bytes": sum(rss) / len(rss) if rss else 0.0,
+        # JSONL lifecycle log written for this campaign, if any.
+        "runlog": getattr(result, "runlog_path", None),
         # Static-oracle disagreements attached at aggregation time (see
         # experiment.validate_campaign_result); non-zero means a
         # simulation contradicted a proven bound.
@@ -137,7 +139,7 @@ def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
             "from_cache": outcome.from_cache,
             "attempts": outcome.attempts,
             "wall_time": outcome.wall_time,
-            "max_rss_kb": outcome.max_rss_kb,
+            "max_rss_bytes": outcome.max_rss_bytes,
             "seed": outcome.seed,
         }
         if outcome.error:
@@ -159,6 +161,57 @@ def dump_campaign(result, path: str | Path, extra: dict | None = None) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def campaign_metrics(result, registry=None):
+    """Populate a :class:`~repro.obs.registry.MetricsRegistry` from one
+    campaign — the Prometheus-text summary the future campaign daemon will
+    serve (computed post-hoc here; a live daemon updates the same metrics
+    incrementally).
+
+    Passing an existing *registry* accumulates across campaigns.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    jobs = registry.counter(
+        "repro_campaign_jobs_total",
+        "Campaign jobs by status, engine, and source",
+        ("status", "engine", "source"),
+    )
+    retries = registry.counter(
+        "repro_campaign_retries_total", "Attempts beyond each job's first"
+    )
+    walls = registry.histogram(
+        "repro_campaign_job_wall_seconds",
+        "Per-job wall-clock (executed jobs only)",
+        ("engine",),
+    )
+    rss = registry.gauge(
+        "repro_campaign_job_rss_bytes",
+        "Peak worker RSS over the campaign, bytes",
+    )
+    campaign_wall = registry.gauge(
+        "repro_campaign_wall_seconds", "Whole-campaign wall-clock"
+    )
+    violations = registry.gauge(
+        "repro_campaign_oracle_violations",
+        "Runs contradicting a static oracle bound",
+    )
+    peak = 0
+    for outcome in result.outcomes:
+        engine = str(getattr(outcome.job, "engine", "") or "unknown")
+        source = "cache" if outcome.from_cache else "run"
+        jobs.inc(status=outcome.status, engine=engine, source=source)
+        if not outcome.from_cache:
+            walls.observe(outcome.wall_time, engine=engine)
+        peak = max(peak, outcome.max_rss_bytes)
+    retries.inc(result.retries)
+    rss.set(peak)
+    campaign_wall.set(result.wall_time)
+    violations.set(len(getattr(result, "validation_failures", ()) or ()))
+    return registry
 
 
 # ----------------------------------------------------------------- traces

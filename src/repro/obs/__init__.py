@@ -1,6 +1,6 @@
-"""``repro.obs`` — cycle-level observability for the MMT simulator.
+"""``repro.obs`` — observability for the MMT simulator and its harness.
 
-Three layers, all optional and all off by default:
+Simulation-side layers, all optional and all off by default:
 
 * **Structured event tracing** — typed :class:`TraceEvent` records emitted
   from every pipeline stage, the sync FSM, and the memory hierarchy into a
@@ -10,10 +10,23 @@ Three layers, all optional and all off by default:
   with the final :class:`~repro.pipeline.stats.SimStats`;
 * **Flight recorder + watchdog** — a bounded ring of recent events and a
   no-forward-progress watchdog that turns hung runs into diagnosable JSON
-  dumps.
+  dumps;
+* **Sampled telemetry** — :class:`SampledObserver`, the lightweight
+  contract the fast engine honours natively (interval metrics, recorder,
+  watchdog — no event sink) without dropping back to the reference loop.
 
-Attach an :class:`Observer` to :class:`~repro.pipeline.smt.SMTCore` via its
-``obs`` argument; export collected events with
+Host-side layers (wall-clock is fair game here — the determinism lint
+only bans it inside the simulator packages):
+
+* **Host self-profiler** — :class:`HostProfiler`, exclusive wall-clock
+  attribution across the fast engine's reference-delegated rare paths;
+* **Campaign run-log** — :class:`RunLog`, a flushed JSONL lifecycle log
+  per campaign;
+* **Metrics registry** — :class:`MetricsRegistry`, labelled
+  counters/gauges/histograms with Prometheus text exposition.
+
+Attach an :class:`Observer` (or :class:`SampledObserver`) to a core via
+its ``obs`` argument; export collected events with
 :func:`~repro.obs.export.write_chrome_trace` for Perfetto.
 
 The module also carries the per-process failure-dump path used by campaign
@@ -33,6 +46,10 @@ from repro.obs.export import (
 )
 from repro.obs.interval import IntervalMetrics, IntervalSample
 from repro.obs.observer import NULL_OBS, Observer, campaign_observer
+from repro.obs.prof import HostProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runlog import RunLog
+from repro.obs.sampling import SampledObserver
 from repro.obs.recorder import (
     DEFAULT_WATCHDOG_CYCLES,
     FlightRecorder,
@@ -47,11 +64,15 @@ __all__ = [
     "DEFAULT_WATCHDOG_CYCLES",
     "EventKind",
     "FlightRecorder",
+    "HostProfiler",
     "IntervalMetrics",
     "IntervalSample",
     "MemorySink",
+    "MetricsRegistry",
     "NULL_OBS",
     "Observer",
+    "RunLog",
+    "SampledObserver",
     "TeeSink",
     "TraceEvent",
     "WatchdogError",

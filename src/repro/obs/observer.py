@@ -29,6 +29,14 @@ from repro.obs.recorder import (
 class Observer:
     """Routes simulator events to a sink, a recorder, and interval metrics."""
 
+    #: Whether :class:`~repro.pipeline.fast.FastSMTCore` can honour this
+    #: observer natively.  A plain observer may carry a full event sink,
+    #: which needs the reference loop's per-stage emission sites — the
+    #: fast engine falls back to the reference loop for it.  The
+    #: :class:`~repro.obs.sampling.SampledObserver` subclass overrides
+    #: this and is serviced from inside the fast loop.
+    fast_capable = False
+
     __slots__ = (
         "sink",
         "interval",
@@ -123,7 +131,14 @@ def campaign_observer(
     capacity: int = 2048, watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES
 ) -> Observer:
     """The observer campaign workers attach when failure dumps are enabled:
-    a flight recorder plus the livelock watchdog, no full event sink."""
-    return Observer(
+    a flight recorder plus the livelock watchdog, no full event sink.
+
+    Returns a fast-capable :class:`~repro.obs.sampling.SampledObserver`,
+    so campaign jobs dispatched to the fast engine keep the fast loop
+    (rare-path events still reach the ring; the watchdog still fires).
+    """
+    from repro.obs.sampling import SampledObserver
+
+    return SampledObserver(
         recorder=FlightRecorder(capacity), watchdog_cycles=watchdog_cycles
     )

@@ -1,0 +1,235 @@
+"""Labelled metrics registry with Prometheus text exposition.
+
+The wire format for the future campaign daemon (ROADMAP item 2): counters,
+gauges, and histograms keyed by ``(name, labels)``, rendered in the
+Prometheus text exposition format (``# HELP``/``# TYPE`` headers, one
+``name{label="value"} value`` line per series, cumulative histogram
+buckets with ``+Inf``).  Dependency-free on purpose — the daemon can
+serve :meth:`MetricsRegistry.render` straight over HTTP, and tests can
+string-match it today.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus' own).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyz" "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+               "0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _series(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared bookkeeping: a family of series under one name."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _labels_of(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines.extend(self._render_series())
+        return lines
+
+    def _render_series(self) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(self._key(labels), 0)
+
+    def _render_series(self) -> list[str]:
+        return [
+            f"{_series(self.name, self._labels_of(key))} "
+            f"{_format_value(value)}"
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._series.get(self._key(labels), 0)
+
+    def _render_series(self) -> list[str]:
+        return [
+            f"{_series(self.name, self._labels_of(key))} "
+            f"{_format_value(value)}"
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+            self._series[key] = state
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["counts"][index] += 1
+        state["sum"] += value
+        state["count"] += 1
+
+    def _render_series(self) -> list[str]:
+        lines = []
+        for key, state in sorted(self._series.items()):
+            labels = self._labels_of(key)
+            for bound, count in zip(self.buckets, state["counts"]):
+                # Bucket bounds keep their float spelling (le="1.0", not
+                # le="1"), matching the standard Prometheus clients.
+                bucket_labels = dict(labels, le=repr(bound))
+                lines.append(
+                    f"{_series(self.name + '_bucket', bucket_labels)} {count}"
+                )
+            inf_labels = dict(labels, le="+Inf")
+            lines.append(
+                f"{_series(self.name + '_bucket', inf_labels)} "
+                f"{state['count']}"
+            )
+            lines.append(
+                f"{_series(self.name + '_sum', labels)} "
+                f"{_format_value(state['sum'])}"
+            )
+            lines.append(
+                f"{_series(self.name + '_count', labels)} {state['count']}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(
+                labelnames
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        """Get-or-create a counter (idempotent per name)."""
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:
+        """Get-or-create a gauge."""
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (trailing newline included)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,65 @@
+"""Structured campaign run-log: one JSONL lifecycle record per event.
+
+Every campaign writes an append-only JSONL file next to its result cache
+(one JSON object per line, flushed per event so a killed campaign still
+leaves a readable prefix).  The stream records the full job lifecycle —
+``campaign_begin``, ``job_cache_hit``, ``job_started``, ``job_retried``,
+``job_finished``, ``job_failed``, ``campaign_end`` — with wall-clock,
+peak-RSS (bytes), engine, and attempt fields, which is exactly the
+telemetry the future campaign daemon (ROADMAP item 2) needs to stream to
+clients.  :func:`read_runlog` reads a file back for the test suite and
+post-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["RunLog", "read_runlog"]
+
+
+class RunLog:
+    """Append-only JSONL event log (flushed per event).
+
+    Wall-clock timestamps are intentional here: the run-log records *host*
+    lifecycle facts, not simulated behaviour, and lives in ``repro.obs``
+    with the other host-side measurement layers (outside the determinism
+    lint's simulator scope).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one lifecycle record (no-op after :meth:`close`)."""
+        if self._fh is None:
+            return
+        record = {"ts": time.time(), "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> RunLog:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_runlog(path: str | Path) -> list[dict]:
+    """Parse a run-log file back into its records (skips blank lines)."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

@@ -1,0 +1,133 @@
+"""Fast-engine-native telemetry: the :class:`SampledObserver` contract.
+
+The full :class:`~repro.obs.observer.Observer` instruments the reference
+core's per-stage hooks, which the fast engine's monolithic loop bypasses
+— historically any active observer dropped :class:`FastSMTCore` back to
+the reference loop, making the engine we run at scale the one we could
+not see into.  A :class:`SampledObserver` is the lightweight contract the
+fast loop *can* honour natively:
+
+* **interval metrics** — the loop checks one precomputed boundary cycle
+  per iteration (``cycle >= next_obs``, a single int compare) and, at a
+  boundary, flushes its localized counters into ``SimStats`` and calls
+  :meth:`fast_tick`, which records the :class:`IntervalSample` against
+  live state.  Samples land at exactly the same cycles, in the same
+  deltas, as the reference loop's — the ``IntervalMetrics.totals()``
+  equality guarantee extends to the fast engine (the differential suite
+  holds both engines to identical sample rows);
+* **flight recorder** — the reference-delegated rare paths (split, LVIP
+  verify, control, hints, store commit, squash) and the memory/sync
+  layers still emit events, so the ring captures the *interesting*
+  transitions.  Steady-state fetch/commit events are not emitted (that is
+  the point of the fast loop); post-mortem dumps say so via the partial
+  ring;
+* **watchdog** — forward progress is checked at boundary cycles instead
+  of every cycle, so a livelock fires between one and two watchdog
+  periods after the last commit (the reference fires at exactly one).
+  The error, message, and flight dump are identical.
+
+A full event ``sink`` is refused: steady-state events are exactly what
+the fast loop does not emit, and a silently half-empty trace is worse
+than a loud error — use the reference engine (or a plain ``Observer``,
+which still forces the reference loop) for full event fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.obs.observer import Observer
+from repro.obs.recorder import FlightRecorder
+
+__all__ = ["SampledObserver", "NEVER"]
+
+#: Boundary cycle meaning "no sampling consumer is attached": far beyond
+#: any reachable ``max_cycles``, so the loop's compare never fires.
+NEVER = 1 << 62
+
+
+class SampledObserver(Observer):
+    """An observer the fast engine runs natively (``fast_capable``).
+
+    Accepts the interval collector, flight recorder, and watchdog of a
+    plain :class:`Observer` — but no event sink.  Under the reference
+    loop it behaves exactly like its base class (the per-cycle hooks are
+    inherited unchanged), so one observer object works on both engines
+    with identical interval samples either way.
+    """
+
+    __slots__ = ()
+
+    #: The fast loop honours this observer natively instead of falling
+    #: back to the reference loop.
+    fast_capable = True
+
+    def __init__(
+        self,
+        interval=None,
+        recorder: FlightRecorder | None = None,
+        watchdog_cycles: int | None = None,
+        sink=None,
+    ) -> None:
+        if sink is not None:
+            raise ValueError(
+                "SampledObserver cannot carry an event sink: the fast "
+                "loop does not emit steady-state events; use the "
+                "reference engine for full event traces"
+            )
+        super().__init__(
+            sink=None,
+            interval=interval,
+            recorder=recorder,
+            watchdog_cycles=watchdog_cycles,
+        )
+
+    # ------------------------------------------------------ fast-loop hooks
+    def begin_fast_run(self, core) -> int:
+        """Arm the observer at fast-loop entry; returns the first boundary.
+
+        Seeds the watchdog's progress state from the core's current
+        counters (a resumed or pre-warmed core must not inherit a stale
+        progress cycle) and returns the first cycle at which the loop
+        must call :meth:`fast_tick`.
+        """
+        if self.watchdog_cycles is not None:
+            self._progress_value = core.stats.committed_thread_insts
+            # The reference watchdog arms at its first end_cycle — the
+            # first simulated cycle, core.cycle + 1 from here — so a run
+            # that never commits trips at the same cycle on both engines.
+            self._progress_cycle = core.cycle + 1
+        return self._next_boundary()
+
+    def fast_tick(self, core) -> int:
+        """One boundary visit: sample/watchdog, then the next boundary.
+
+        The fast loop calls this only at boundary cycles, *after*
+        flushing its localized counters into ``core.stats`` and stamping
+        ``stats.cycles`` — so the interval sample reads exactly the state
+        the reference loop's ``end_cycle`` would have seen.
+        """
+        cycle = core.cycle
+        interval = self.interval
+        if interval is not None and cycle >= interval.next_cycle:
+            interval.sample(core)
+        watchdog = self.watchdog_cycles
+        if watchdog is not None:
+            progress = core.stats.committed_thread_insts
+            if progress != self._progress_value:
+                self._progress_value = progress
+                self._progress_cycle = cycle
+            elif cycle - self._progress_cycle >= watchdog:
+                self._fire_watchdog(core, watchdog)
+        return self._next_boundary()
+
+    def _next_boundary(self) -> int:
+        """The next cycle at which the fast loop must call in."""
+        boundary = NEVER
+        interval = self.interval
+        if interval is not None:
+            boundary = interval.next_cycle
+        watchdog = self.watchdog_cycles
+        if watchdog is not None:
+            deadline = self._progress_cycle + watchdog
+            if deadline < boundary:
+                boundary = deadline
+        return boundary

@@ -19,10 +19,19 @@ the same transitions are computed:
   commit) delegates to the *reference* implementation inherited from
   ``SMTCore``, so the rare paths are the proven paths.
 
-When an observer is attached (``obs.active``), :meth:`run` falls back to
-the reference ``SMTCore.run`` loop entirely — event order and watchdog
-semantics are preserved exactly, still accelerated by the fast functional
-oracles.  The reference core remains untouched as the differential oracle.
+Observability splits on the observer's ``fast_capable`` flag.  A
+fast-capable observer (:class:`~repro.obs.sampling.SampledObserver`) is
+serviced from *inside* the fast loop: one precomputed boundary-cycle
+compare per iteration, with the localized counters flushed into
+``SimStats`` at each boundary so interval samples land at exactly the
+reference cycles with exactly the reference deltas — rare-path, memory,
+and sync events still reach an attached flight recorder, and the
+no-progress watchdog fires at boundary granularity.  Any *other* active
+observer (full event sinks need per-stage emission sites) drops
+:meth:`run` back to the reference ``SMTCore.run`` loop entirely — event
+order and watchdog semantics preserved exactly, still accelerated by the
+fast functional oracles.  The reference core remains untouched as the
+differential oracle.
 """
 
 from __future__ import annotations
@@ -101,6 +110,10 @@ class FastSMTCore(SMTCore):
         #: ``("C", cycle, tid, pc, seq, itid, threads)`` tuples, mirroring
         #: the reference observer's FETCH/COMMIT events.
         self.trace = trace
+        #: True once :meth:`_run_fast` actually ran (False after a
+        #: reference-loop fallback) — the telemetry test suite asserts on
+        #: this to prove sampled runs stayed in the fast loop.
+        self.ran_fast_loop = False
         # Swap every oracle for its pre-decoded twin (same ContextState, so
         # architectural state and the replay/squash machinery are unchanged).
         # Contexts running the same program share one dispatch table.
@@ -201,11 +214,16 @@ class FastSMTCore(SMTCore):
     def run(self) -> SimStats:
         """Run to completion, cycle-exact with the reference core.
 
-        With an active observer the reference loop runs instead (event
-        streams, interval sampling, and the watchdog need the per-stage
-        hooks), still accelerated by the fast oracles and record streams.
+        A fast-capable observer (``obs.fast_capable``, i.e. a
+        :class:`~repro.obs.sampling.SampledObserver`) is serviced from
+        inside the fast loop — interval samples at exactly the reference
+        boundaries, rare-path events into the flight recorder, watchdog
+        at boundary granularity.  Any other active observer needs the
+        per-stage hooks, so the reference loop runs instead, still
+        accelerated by the fast oracles and record streams.
         """
-        if self.obs.active:
+        obs = self.obs
+        if obs.active and not obs.fast_capable:
             if self.trace is not None:
                 raise ValueError(
                     "trace capture requires the fast loop; detach the observer"
@@ -315,6 +333,25 @@ class FastSMTCore(SMTCore):
         asids = self.asids
         trace = self.trace
         fbm = stats.fetched_by_mode
+
+        # Sampled observability.  ``run`` has already diverted any
+        # non-fast-capable observer to the reference loop, so here the
+        # observer either is inert or implements the SampledObserver
+        # contract: the loop pays one int compare per cycle against the
+        # next boundary, and only at a boundary flushes the sampled
+        # counters and calls in.  ``obs_tracing`` keeps ``obs.now``
+        # current so delegated-path/memory/sync emissions into a flight
+        # recorder carry correct cycle timestamps.
+        self.ran_fast_loop = True
+        obs = self.obs
+        obs_active = obs.active
+        obs_tracing = obs.tracing
+        if obs_active:
+            next_obs = obs.begin_fast_run(self)
+            obs_tick = obs.fast_tick
+        else:
+            next_obs = limit + 1
+            obs_tick = None
 
         tof = _TOF
         popc = _POPC
@@ -482,6 +519,8 @@ class FastSMTCore(SMTCore):
                     )
                 cycle += 1
                 self.cycle = cycle
+                if obs_tracing:
+                    obs.now = cycle
                 if mshr_entries:
                     mshr_tick(cycle)
                 regmerge._ports_left = merge_ports
@@ -1367,6 +1406,24 @@ class FastSMTCore(SMTCore):
                             )
                 f_sessions += sessions
 
+                # Boundary visit: make the sampled SimStats fields current
+                # (the finally block flushes additively, so zeroing here is
+                # safe) and hand the cycle to the observer — it samples the
+                # interval and/or checks watchdog progress, then returns
+                # the next boundary.  Everything else an IntervalSample
+                # reads (fetched_by_mode, branch counters, FHB, occupancy
+                # structures, RST) is already live during the loop.
+                if cycle >= next_obs:
+                    stats.committed_thread_insts += c_thread
+                    stats.committed_entries += c_entries
+                    stats.fetched_thread_insts += f_thread
+                    stats.fetched_entries += f_entries
+                    stats.fetch_sessions += f_sessions
+                    c_thread = c_entries = 0
+                    f_thread = f_entries = f_sessions = 0
+                    stats.cycles = cycle
+                    next_obs = obs_tick(self)
+
             # Normal completion: the reference run() tail, verbatim.
             stats.cycles = cycle
         finally:
@@ -1416,6 +1473,11 @@ class FastSMTCore(SMTCore):
                 if in_use > regfile.high_water:
                     regfile.high_water = in_use
 
+        if obs_active:
+            # Reference run() order: finalize (closing the last partial
+            # interval against the now-flushed stats) before the
+            # end-of-run snapshots below.
+            obs.finalize(self)
         stats.lvip_site_checks = dict(self.lvip.site_checks)
         stats.lvip_site_mispredicts = dict(self.lvip.site_mispredicts)
         if shared_fetch:

@@ -263,13 +263,18 @@ def test_code_fingerprint_env_override(monkeypatch):
 def test_outcomes_record_worker_rss(cache):
     result = run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
     outcome = result.outcomes[0]
-    assert outcome.max_rss_kb > 0
-    assert summarize_campaign(result)["job_rss_max_kb"] >= outcome.max_rss_kb
+    # RSS is normalised to bytes on every platform; a real worker process
+    # is comfortably past 1 MiB.
+    assert outcome.max_rss_bytes > 1024 * 1024
+    assert (
+        summarize_campaign(result)["job_rss_max_bytes"]
+        >= outcome.max_rss_bytes
+    )
 
     # A cache hit replays the RSS recorded when the entry was produced.
     second = run_campaign([AddJob(1, 1)], add_runner, workers=1, cache=cache)
     assert second.outcomes[0].from_cache
-    assert second.outcomes[0].max_rss_kb == outcome.max_rss_kb
+    assert second.outcomes[0].max_rss_bytes == outcome.max_rss_bytes
 
 
 def test_livelocked_job_leaves_flight_dump(cache, tmp_path):
@@ -289,6 +294,48 @@ def test_livelocked_job_leaves_flight_dump(cache, tmp_path):
     # The failure report row surfaces the dump path.
     rows = campaign_failure_rows(result)
     assert rows[0]["dump"] == outcome.dump_path
+
+
+def test_livelocked_fast_engine_job_leaves_flight_dump(cache, tmp_path):
+    """The watchdog + flight recorder fire from *inside* the fast loop:
+    a fast-engine campaign job that livelocks leaves the same dump a
+    reference job would, and the dump replays (satellite: oracle gate on
+    the replay path)."""
+    from repro.harness.experiment import replay_dump, simulate_job_faulty
+    from repro.obs import load_dump
+
+    job = CampaignJob("ammp", MMTConfig.base(), 2, scale=0.1,
+                      tag="livelock", engine="fast")
+    result = run_campaign([job], simulate_job_faulty, workers=1, retries=0,
+                          cache=cache, failure_dump_dir=tmp_path / "flight")
+    outcome = result.outcomes[0]
+    assert outcome.status == "failed"
+    assert "WatchdogError" in outcome.error
+    assert outcome.dump_path and outcome.dump_path.endswith(".flight.json")
+    document = load_dump(outcome.dump_path)
+    assert document["committed_thread_insts"] == 0
+    assert document["events"][-1]["kind"] == "watchdog"
+    # The dump embeds the job spec, so the post-mortem replay runs the
+    # same point (healthy: the injected fault is not part of the spec)
+    # and passes the oracle + reconciliation gate.
+    assert document["job"]["engine"] == "fast"
+    replay = replay_dump(outcome.dump_path)
+    assert replay.ok, replay.problems
+    assert replay.spec["app"] == "ammp"
+    assert replay.run.stats.committed_thread_insts > 0
+
+
+def test_replay_rejects_spec_less_dump(tmp_path):
+    """Dumps from before spec embedding raise instead of replaying the
+    wrong point."""
+    import json
+
+    from repro.harness.experiment import replay_dump
+
+    path = tmp_path / "old.flight.json"
+    path.write_text(json.dumps({"events": [], "error": "boom"}))
+    with pytest.raises(ValueError, match="no job spec"):
+        replay_dump(path)
 
 
 def test_successful_job_has_no_dump(cache, tmp_path):

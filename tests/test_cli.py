@@ -83,3 +83,87 @@ def test_trace_flags_parsed():
     args = build_parser().parse_args(["trace", "--interval", "500"])
     assert args.interval == 500 and args.config == "MMT-FXR"
     assert args.chrome is None
+
+
+def test_profile_target(capsys, tmp_path):
+    chrome = tmp_path / "host.json"
+    out_json = tmp_path / "profile.json"
+    assert main(["profile", "--apps", "mcf", "--config", "MMT-FXR",
+                 "--scale", "0.1", "--chrome", str(chrome),
+                 "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "Host profile" in out
+    assert "fast_loop" in out  # residual row printed
+    assert "control" in out
+    assert "host_us_per_inst" in out
+    assert chrome.exists() and out_json.exists()
+
+    import json
+
+    from repro.obs import load_chrome_trace, validate_chrome_trace
+
+    assert validate_chrome_trace(load_chrome_trace(chrome)) == []
+    document = json.loads(out_json.read_text())
+    # The profile target defaults to the fast engine.
+    assert document["engine"] == "fast"
+    assert document["total_wall_s"] > 0
+
+
+def test_profile_rejects_unknown_config(capsys):
+    assert main(["profile", "--apps", "mcf", "--config", "NoSuch"]) == 2
+    assert "unknown config" in capsys.readouterr().out
+
+
+def test_replay_target_roundtrip(capsys, tmp_path, monkeypatch):
+    """campaign --inject-livelock leaves a dump; replay re-runs it."""
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "clitest")
+    import repro.harness.campaign as campaign_mod
+
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    dump_dir = tmp_path / "flight"
+    code = main(["campaign", "--apps", "ammp", "--configs", "Base",
+                 "--scale", "0.1", "--workers", "1", "--retries", "0",
+                 "--inject-livelock", "--dump-dir", str(dump_dir),
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0  # partial failure reported, not fatal
+    out = capsys.readouterr().out
+    assert "campaign run-log written to" in out
+    dumps = list(dump_dir.glob("*.flight.json"))
+    assert dumps, "livelock demo left no flight dump"
+
+    assert main(["replay", "--dump", str(dumps[0])]) == 0
+    out = capsys.readouterr().out
+    assert "original failure" in out
+    assert "no instruction committed" in out
+    assert "replay clean" in out
+
+
+def test_replay_without_dump_is_usage_error(capsys):
+    assert main(["replay"]) == 2
+    assert "--dump" in capsys.readouterr().out
+
+
+def test_replay_rejects_spec_less_dump(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "old.flight.json"
+    path.write_text(json.dumps({"events": [], "error": "boom"}))
+    assert main(["replay", "--dump", str(path)]) == 2
+    assert "no job spec" in capsys.readouterr().out
+
+
+def test_campaign_metrics_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "clitest2")
+    import repro.harness.campaign as campaign_mod
+
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    metrics = tmp_path / "metrics.prom"
+    assert main(["campaign", "--apps", "ammp", "--configs", "Base",
+                 "--scale", "0.1", "--workers", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--metrics", str(metrics)]) == 0
+    text = metrics.read_text()
+    assert "# TYPE repro_campaign_jobs_total counter" in text
+    assert 'status="ok"' in text
+    out = capsys.readouterr().out
+    assert "Prometheus metrics written" in out

@@ -46,3 +46,32 @@ def test_fastpath_speedup_gate(capsys):
         f"{PINNED_MIN_SPEEDUP}x floor (per-point min "
         f"{record['min_speedup']}x)"
     )
+
+
+@pytest.mark.bench
+def test_sampling_overhead_gate(capsys):
+    """Observer-overhead gate: a fig5a point with vs without sampled
+    telemetry on the fast engine.  The record lands in the same
+    ``BENCH_fastpath.json`` trajectory artifact; the gate fails if the
+    sampled run costs more than :data:`MAX_SAMPLING_OVERHEAD` (1.10x)
+    of the unobserved fast loop."""
+    from repro.harness.fastbench import (
+        MAX_SAMPLING_OVERHEAD,
+        run_sampling_overhead_bench,
+    )
+
+    with capsys.disabled():
+        print(
+            f"\nsampling overhead gate: scale {SMOKE_SCALE}, "
+            f"ceiling {MAX_SAMPLING_OVERHEAD}x"
+        )
+        record = run_sampling_overhead_bench(
+            scale=SMOKE_SCALE, progress=print
+        )
+    append_trajectory(record)
+    assert record["overhead_ratio"] is not None
+    assert record["overhead_ratio"] <= MAX_SAMPLING_OVERHEAD, (
+        f"sampled telemetry costs {record['overhead_ratio']}x of the "
+        f"unobserved fast loop, above the {MAX_SAMPLING_OVERHEAD}x "
+        "ceiling"
+    )

@@ -143,6 +143,65 @@ def test_watchdog_fires_on_injected_livelock(tmp_path):
     assert len(document["threads"]) == 2
 
 
+def test_watchdog_fires_inside_fast_loop(tmp_path):
+    """The no-forward-progress watchdog is enforced *from the fast loop*
+    via the SampledObserver boundary check — no reference fallback —
+    with the same message and flight dump as the reference engine."""
+    from repro.obs import SampledObserver
+
+    obs = SampledObserver(
+        recorder=FlightRecorder(capacity=64), watchdog_cycles=200
+    )
+    dump_path = tmp_path / "wedged-fast.flight.json"
+    machine = experiment._normalize_machine(None, 2)
+    with pytest.raises(WatchdogError) as excinfo:
+        experiment._simulate(
+            "ammp", MMTConfig.base(), 2, machine, 0.1, True,
+            obs=obs, failure_dump=str(dump_path),
+            prepare=experiment._wedge_fetch, engine="fast",
+        )
+    err = excinfo.value
+    assert "no instruction committed in 200 cycles" in str(err)
+    assert dump_path.exists()
+    document = load_dump(dump_path)
+    assert document["error"] == str(err)
+    # Boundary granularity: the fast loop checks progress at watchdog
+    # boundaries, so the trip lands between 1x and 2x the fuse.
+    assert 200 <= document["cycle"] <= 400
+    kinds = [event["kind"] for event in document["events"]]
+    assert kinds[-1] == "watchdog"
+    assert document["committed_thread_insts"] == 0
+    assert document["job"]["engine"] == "fast"
+
+
+def test_fast_and_reference_watchdog_dumps_agree(tmp_path):
+    """Same wedged point, both engines: the dumps tell the same story."""
+    from repro.obs import SampledObserver
+
+    documents = {}
+    machine = experiment._normalize_machine(None, 2)
+    for engine, obs in (
+        ("reference", Observer(recorder=FlightRecorder(capacity=64),
+                               watchdog_cycles=300)),
+        ("fast", SampledObserver(recorder=FlightRecorder(capacity=64),
+                                 watchdog_cycles=300)),
+    ):
+        dump_path = tmp_path / f"wedged-{engine}.flight.json"
+        with pytest.raises(WatchdogError):
+            experiment._simulate(
+                "mcf", MMTConfig.mmt_fxr(), 2, machine, 0.1, True,
+                obs=obs, failure_dump=str(dump_path),
+                prepare=experiment._wedge_fetch, engine=engine,
+            )
+        documents[engine] = load_dump(dump_path)
+    ref, fast = documents["reference"], documents["fast"]
+    assert ref["committed_thread_insts"] == fast["committed_thread_insts"]
+    assert ref["events"][-1]["kind"] == fast["events"][-1]["kind"]
+    # A wedged machine never progresses, so both engines trip on the
+    # very first boundary after the fuse — the same cycle.
+    assert ref["cycle"] == fast["cycle"]
+
+
 def test_healthy_run_never_trips_watchdog(traced):
     run, obs = traced
     # The shared traced fixture ran with the default watchdog armed.

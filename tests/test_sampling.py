@@ -1,0 +1,170 @@
+"""Fast-engine-native sampled telemetry: the exactness proof.
+
+The acceptance bar for the :class:`SampledObserver` contract: with
+sampled telemetry enabled, :class:`FastSMTCore` must stay in the fast
+loop (no reference fallback), and its :class:`IntervalMetrics` samples
+must be *identical* — same boundary cycles, same deltas, same
+occupancies — to the reference engine's, across all five fig5a
+configurations.  ``totals()`` must reconcile exactly with the final
+``SimStats`` on both engines, extending the reference-only equality
+guarantee of ``tests/test_obs.py``.
+"""
+
+import pytest
+
+from repro.core.config import MMTConfig
+from repro.obs import (
+    FlightRecorder,
+    IntervalMetrics,
+    MemorySink,
+    Observer,
+    SampledObserver,
+    campaign_observer,
+)
+from repro.pipeline.fast import FastSMTCore
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import get_profile
+from tests.test_differential import SCALE, run_pipeline
+
+#: All five fig5a configurations — the acceptance criterion names them.
+FIG5A_CONFIGS = [
+    ("Base", MMTConfig.base()),
+    ("MMT-F", MMTConfig.mmt_f()),
+    ("MMT-FX", MMTConfig.mmt_fx()),
+    ("MMT-FXR", MMTConfig.mmt_fxr()),
+    ("Limit", MMTConfig.limit()),
+]
+
+#: A deliberately awkward interval: never divides the run length evenly,
+#: so the final partial interval is always exercised.
+INTERVAL = 513
+
+
+def sample_rows(metrics):
+    return [sample.as_dict() for sample in metrics.samples]
+
+
+@pytest.mark.parametrize(
+    "label,config", FIG5A_CONFIGS, ids=[l for l, _ in FIG5A_CONFIGS]
+)
+def test_sampled_intervals_identical_across_engines(label, config):
+    """Same program, both engines: identical interval sample streams."""
+    build = build_workload(get_profile("mcf"), 2, scale=SCALE, seed=7)
+    ref_metrics = IntervalMetrics(interval=INTERVAL)
+    ref, _ = run_pipeline(
+        build, config, 2, obs=Observer(interval=ref_metrics)
+    )
+    fast_metrics = IntervalMetrics(interval=INTERVAL)
+    fast, _ = run_pipeline(
+        build,
+        config,
+        2,
+        core_cls=FastSMTCore,
+        obs=SampledObserver(interval=fast_metrics),
+    )
+    assert fast.ran_fast_loop, f"{label}: fast engine fell back"
+    assert fast.stats.__dict__ == ref.stats.__dict__, (
+        f"{label}: SimStats diverged under sampling"
+    )
+    assert sample_rows(fast_metrics) == sample_rows(ref_metrics), (
+        f"{label}: interval sample streams diverged"
+    )
+    # The totals()/reconcile() guarantee holds on both engines.
+    assert ref_metrics.reconcile(ref.stats) == []
+    assert fast_metrics.reconcile(fast.stats) == []
+
+
+@pytest.mark.parametrize("app,nctx,seed", [
+    ("ammp", 2, 12),
+    ("lu", 4, 83),
+    ("fft", 1, 91),
+    ("blackscholes", 4, 121),
+])
+def test_sampled_fast_runs_reconcile_across_workloads(app, nctx, seed):
+    """Fast-loop sampling reconciles exactly on varied shapes/intervals."""
+    build = build_workload(get_profile(app), nctx, scale=SCALE, seed=seed)
+    for interval in (100, 1777):
+        metrics = IntervalMetrics(interval=interval)
+        core, _ = run_pipeline(
+            build,
+            MMTConfig.mmt_fxr(),
+            nctx,
+            core_cls=FastSMTCore,
+            obs=SampledObserver(interval=metrics),
+        )
+        assert core.ran_fast_loop
+        assert metrics.reconcile(core.stats) == []
+        assert metrics.samples, "no samples recorded"
+        # Samples tile the run: contiguous, ending at the final cycle.
+        edge = 0
+        for sample in metrics.samples:
+            assert sample.start_cycle == edge
+            assert sample.end_cycle > sample.start_cycle
+            edge = sample.end_cycle
+        assert edge == core.stats.cycles
+
+
+def test_sampled_run_matches_unobserved_fast_run():
+    """Sampling must not perturb the simulation itself."""
+    build = build_workload(get_profile("ocean"), 4, scale=SCALE, seed=101)
+    config = MMTConfig.mmt_fxr()
+    plain, _ = run_pipeline(build, config, 4, core_cls=FastSMTCore)
+    metrics = IntervalMetrics(interval=INTERVAL)
+    sampled, _ = run_pipeline(
+        build, config, 4, core_cls=FastSMTCore,
+        obs=SampledObserver(interval=metrics),
+    )
+    assert sampled.ran_fast_loop
+    assert sampled.stats.__dict__ == plain.stats.__dict__
+
+
+def test_sampled_observer_allows_fast_trace_capture():
+    """Trace capture and sampled telemetry can ride the same fast run."""
+    build = build_workload(get_profile("fft"), 2, scale=SCALE, seed=3)
+    config = MMTConfig.mmt_f()
+    metrics = IntervalMetrics(interval=INTERVAL)
+    trace: list[tuple] = []
+    core, _ = run_pipeline(
+        build, config, 2, core_cls=FastSMTCore,
+        obs=SampledObserver(interval=metrics), trace=trace,
+    )
+    assert core.ran_fast_loop
+    assert trace, "no trace records captured"
+    assert metrics.reconcile(core.stats) == []
+
+
+def test_sampled_observer_with_recorder_keeps_fast_loop():
+    """A recorder-carrying SampledObserver (the campaign shape) stays fast
+    and still collects rare-path events into the ring."""
+    build = build_workload(get_profile("mcf"), 2, scale=SCALE, seed=31)
+    recorder = FlightRecorder(capacity=512)
+    core, _ = run_pipeline(
+        build, MMTConfig.mmt_fxr(), 2, core_cls=FastSMTCore,
+        obs=SampledObserver(recorder=recorder, watchdog_cycles=50_000),
+    )
+    assert core.ran_fast_loop
+    assert recorder.events, "rare-path events never reached the ring"
+    # Ring timestamps must be real cycle numbers, not all zero.
+    assert any(event.cycle > 0 for event in recorder.events)
+
+
+def test_sampled_observer_rejects_event_sink():
+    with pytest.raises(ValueError, match="sink"):
+        SampledObserver(sink=MemorySink())
+
+
+def test_fast_capable_flags():
+    assert not Observer.fast_capable
+    assert SampledObserver.fast_capable
+    assert isinstance(campaign_observer(), SampledObserver)
+    assert campaign_observer().fast_capable
+
+
+def test_plain_observer_still_forces_reference_loop():
+    """The fallback contract is unchanged for non-fast-capable observers."""
+    build = build_workload(get_profile("mcf"), 2, scale=SCALE, seed=4)
+    core, _ = run_pipeline(
+        build, MMTConfig.mmt_fxr(), 2, core_cls=FastSMTCore,
+        obs=Observer(interval=IntervalMetrics(interval=INTERVAL)),
+    )
+    assert not core.ran_fast_loop
