@@ -58,9 +58,11 @@ from repro.analysis.redundancy import (
 from repro.analysis.values import (
     LoadClass,
     MemoryModel,
+    Region,
     ValueAnalysis,
     ValueAnalysisDivergence,
     analyze_values_cfg,
+    regions_from_symbols,
 )
 
 __all__ = [
@@ -94,7 +96,9 @@ __all__ = [
     "analyze_program",
     "LoadClass",
     "MemoryModel",
+    "Region",
     "ValueAnalysis",
     "ValueAnalysisDivergence",
     "analyze_values_cfg",
+    "regions_from_symbols",
 ]

@@ -1,0 +1,452 @@
+"""Clone-consistency check: fast loop vs reference stages.
+
+Every state path a reference stage of ``SMTCore.step`` writes must be
+either **replicated** by the fast loop's own writes or **reachable
+through a declared delegation point** of
+:mod:`repro.pipeline.fast_boundary`; conversely every fast-loop write
+must have a reference counterpart (or be declared fast-only), every fast
+call into reference code must be declared, the inlined stage sections
+must appear in reference order, and the stage docstrings' ``Effects:``
+annotations must match the computed summaries.  Each violation becomes a
+:class:`~repro.analysis.host.diagnostics.HostDiagnostic` with file:line
+provenance.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.host.diagnostics import HostDiagnostic
+from repro.analysis.host.effects import (
+    ANNOTATED_STAGES,
+    EffectModel,
+    SourceTree,
+    StageSummary,
+    Summary,
+)
+from repro.analysis.host.ir import Effect, FunctionIR
+from repro.pipeline import fast_boundary as spec
+
+_FAST_MODULE = "repro.pipeline.fast"
+_BANNER = re.compile(r"^\s*#\s*-{3,}\s*(?P<name>.+?)\s*$")
+
+
+def _provenance(model: EffectModel, effect: Effect) -> tuple[str, int]:
+    """Map an effect's ``via`` qualname to its defining file."""
+    qual = effect.via
+    while qual:
+        fn = _find_function(model, qual)
+        if fn is not None:
+            return model.modules[fn.module].file, effect.lineno
+        qual = qual.rsplit(".", 1)[0] if "." in qual else ""
+    return "<unknown>", effect.lineno
+
+
+def _find_function(model: EffectModel, qual: str) -> FunctionIR | None:
+    if "." in qual:
+        cls_name, method = qual.split(".", 1)
+        cls = model.classes.get(cls_name)
+        if cls is not None:
+            return cls.methods.get(method)
+        return None
+    return model.functions.get(qual)
+
+
+def _delegated_coverage(
+    model: EffectModel, diags: list[HostDiagnostic]
+) -> Summary:
+    """Union summary of every declared delegation target (resolving each
+    against the reference family; unresolvable targets are stale)."""
+    fast_file = model.modules[_FAST_MODULE].file
+    covered = Summary()
+    for point in spec.DELEGATIONS:
+        target = point.target
+        if target.startswith("self."):
+            fn = model.core_methods.get(target[5:])
+        elif "." in target:
+            cls_name, method = target.split(".", 1)
+            fn = (
+                model.family_methods(cls_name).get(method)
+                if cls_name in model.classes
+                else None
+            )
+        else:
+            fn = None
+        if fn is None:
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT005",
+                    fast_file,
+                    1,
+                    f"declared delegation {target!r} does not resolve to a "
+                    "reference method",
+                    subject=f"delegation:{target}",
+                )
+            )
+            continue
+        if point.covers:
+            model.expand(fn, cls_name="SMTCore", out=covered)
+    return covered
+
+
+def _check_write_coverage(
+    model: EffectModel,
+    ref: Summary,
+    fast: Summary,
+    covered: Summary,
+    diags: list[HostDiagnostic],
+) -> None:
+    fast_file = model.modules[_FAST_MODULE].file
+    for path, effect in sorted(ref.writes.items()):
+        if path in fast.writes or path in covered.writes:
+            continue
+        file, line = _provenance(model, effect)
+        diags.append(
+            HostDiagnostic(
+                "DRIFT001",
+                file,
+                line,
+                f"reference writes {path!r} (via {effect.via}) but the "
+                "fast loop neither replicates it nor reaches it through "
+                "a declared delegation",
+                subject=f"path:{path}",
+            )
+        )
+    for path, effect in sorted(fast.writes.items()):
+        if path in ref.writes or path in spec.FAST_ONLY_PATHS:
+            continue
+        file, line = _provenance(model, effect)
+        diags.append(
+            HostDiagnostic(
+                "DRIFT002",
+                file,
+                line,
+                f"fast loop writes {path!r} (via {effect.via}) but no "
+                "reference stage writes it and it is not declared "
+                "fast-only in fast_boundary.FAST_ONLY_PATHS",
+                subject=f"path:{path}",
+            )
+        )
+    # Replication obligations: hot-path writes the fast loop must make
+    # itself; delegation coverage deliberately does not satisfy these.
+    for path in sorted(spec.REPLICATED_PATHS):
+        if path not in ref.writes:
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT005",
+                    fast_file,
+                    1,
+                    f"declared replicated path {path!r} is not written by "
+                    "any reference stage (stale boundary spec)",
+                    subject=f"stale-replicated:{path}",
+                )
+            )
+        elif path not in fast.writes:
+            effect = ref.writes[path]
+            file, line = _provenance(model, effect)
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT001",
+                    file,
+                    line,
+                    f"fast loop must replicate the hot-path write to "
+                    f"{path!r} (see fast_boundary.REPLICATED_PATHS) but "
+                    "no longer does",
+                    subject=f"path:{path}",
+                )
+            )
+    # Opaque component calls, matched call-for-call under the
+    # replication map.
+    roots = set(spec.COMPONENT_CALL_ROOTS)
+    ref_calls = {
+        c: s for c, s in ref.opaque_calls.items() if c.split(".")[0] in roots
+    }
+    fast_calls = {
+        c
+        for c in (*fast.opaque_calls, *covered.opaque_calls)
+        if c.split(".")[0] in roots
+    }
+    replicated_fast = {
+        callee for targets in spec.CALL_REPLICATIONS.values() for callee in targets
+    }
+    for callee, site in sorted(ref_calls.items()):
+        if callee in fast_calls:
+            continue
+        replacements = spec.CALL_REPLICATIONS.get(callee, ())
+        if any(r in fast_calls for r in replacements):
+            continue
+        diags.append(
+            HostDiagnostic(
+                "DRIFT001",
+                model.modules[_FAST_MODULE].file,
+                site.lineno,
+                f"reference calls component {callee!r} (via {site.via}) "
+                "with no fast-loop counterpart or declared replication",
+                subject=f"call:{callee}",
+            )
+        )
+    for callee in sorted(
+        {c for c in fast.opaque_calls if c.split(".")[0] in roots}
+        - set(ref_calls)
+        - replicated_fast
+    ):
+        site = fast.opaque_calls[callee]
+        diags.append(
+            HostDiagnostic(
+                "DRIFT002",
+                fast_file,
+                site.lineno,
+                f"fast loop calls component {callee!r} with no reference "
+                "counterpart or declared replication",
+                subject=f"call:{callee}",
+            )
+        )
+
+
+def _check_delegations(
+    model: EffectModel, fast: Summary, diags: list[HostDiagnostic]
+) -> None:
+    fast_file = model.modules[_FAST_MODULE].file
+    declared = {point.target for point in spec.DELEGATIONS}
+    for target, site in sorted(fast.delegations.items()):
+        if target in declared:
+            continue
+        diags.append(
+            HostDiagnostic(
+                "DRIFT003",
+                fast_file,
+                site.lineno,
+                f"fast code calls reference method {target!r} (via "
+                f"{site.via}) outside the declared delegation boundary",
+                subject=f"delegation:{target}",
+            )
+        )
+    for target in sorted(declared - set(fast.delegations)):
+        diags.append(
+            HostDiagnostic(
+                "DRIFT005",
+                fast_file,
+                1,
+                f"declared delegation {target!r} is never called from "
+                "fast code (stale boundary spec)",
+                subject=f"stale-delegation:{target}",
+            )
+        )
+
+
+def _check_fast_only(
+    model: EffectModel, fast: Summary, diags: list[HostDiagnostic]
+) -> None:
+    fast_file = model.modules[_FAST_MODULE].file
+    for path in sorted(set(spec.FAST_ONLY_PATHS) - set(fast.writes)):
+        diags.append(
+            HostDiagnostic(
+                "DRIFT005",
+                fast_file,
+                1,
+                f"declared fast-only path {path!r} is never written by "
+                "the fast engine (stale boundary spec)",
+                subject=f"stale-fast-only:{path}",
+            )
+        )
+
+
+def _distinctive_paths(stages: list[StageSummary]) -> dict[str, str]:
+    """path -> stage name, for paths written by exactly one of the
+    marker-annotated stages."""
+    counts: dict[str, list[str]] = {}
+    for stage in stages:
+        if stage.name not in spec.STAGE_SECTION_MARKERS:
+            continue
+        for path in stage.summary.writes:
+            counts.setdefault(path, []).append(stage.name)
+    return {
+        path: owners[0] for path, owners in counts.items() if len(owners) == 1
+    }
+
+
+def _check_stage_order(
+    model: EffectModel,
+    stages: list[StageSummary],
+    diags: list[HostDiagnostic],
+) -> None:
+    """The inlined sections must appear in reference stage order, and
+    each stage's distinctive writes must land inside its own section."""
+    fast_file, source = model.tree.load(_FAST_MODULE)
+    loop_fn = model.fast_loop_function()
+    lines = source.splitlines()
+    banner_at: dict[str, int] = {}
+    for number, line in enumerate(
+        lines[loop_fn.lineno - 1 : loop_fn.end_lineno], loop_fn.lineno
+    ):
+        match = _BANNER.match(line)
+        if match:
+            banner_at.setdefault(match.group("name"), number)
+
+    marked = [
+        (name, marker)
+        for name, marker in spec.STAGE_SECTION_MARKERS.items()
+    ]
+    positions: list[tuple[str, int]] = []
+    for name, marker in marked:
+        lineno = banner_at.get(marker)
+        if lineno is None:
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT005",
+                    fast_file,
+                    loop_fn.lineno,
+                    f"stage section banner {marker!r} (for {name}) not "
+                    "found in the fast loop",
+                    subject=f"marker:{name}",
+                )
+            )
+        else:
+            positions.append((name, lineno))
+    ordered = sorted(
+        positions,
+        key=lambda item: list(spec.STAGE_SECTION_MARKERS).index(item[0]),
+    )
+    by_line = sorted(positions, key=lambda item: item[1])
+    if ordered != by_line:
+        diags.append(
+            HostDiagnostic(
+                "DRIFT004",
+                fast_file,
+                by_line[0][1] if by_line else loop_fn.lineno,
+                "fast-loop stage sections are not in reference stage "
+                f"order: found {[n for n, _ in by_line]}, expected "
+                f"{[n for n, _ in ordered]}",
+                subject="stage-order",
+            )
+        )
+        return
+
+    # Span check: distinctive writes inside any marked span must sit in
+    # the right stage's span.  Writes outside the spans (prologue,
+    # ``finally`` flush, epilogue) are unconstrained.
+    if not positions:
+        return
+    spans: list[tuple[str, int, int]] = []
+    for index, (name, start) in enumerate(by_line):
+        end = (
+            by_line[index + 1][1]
+            if index + 1 < len(by_line)
+            else _loop_body_end(lines, loop_fn.lineno, loop_fn.end_lineno)
+        )
+        spans.append((name, start, end))
+    distinctive = _distinctive_paths(stages)
+    loop_qual = loop_fn.qualname
+    for effect in loop_fn.writes:
+        if effect.via != loop_qual:
+            continue  # closures run outside the marked straight-line body
+        if effect.path.startswith("stats."):
+            # Localized stat counters flush at observer boundaries and in
+            # the ``finally`` block, deliberately outside stage order;
+            # their coverage is checked by DRIFT001/DRIFT002 instead.
+            continue
+        owner = distinctive.get(effect.path)
+        if owner is None or effect.path in spec.FAST_ONLY_PATHS:
+            continue
+        for name, start, end in spans:
+            if start <= effect.lineno < end:
+                if name != owner:
+                    diags.append(
+                        HostDiagnostic(
+                            "DRIFT004",
+                            fast_file,
+                            effect.lineno,
+                            f"fast loop writes {effect.path!r} in the "
+                            f"{name!r} section, but that path belongs to "
+                            f"the {owner!r} stage",
+                            subject=f"order:{effect.path}",
+                        )
+                    )
+                break
+
+
+def _loop_body_end(lines: list[str], start: int, end: int) -> int:
+    """Line of the fast loop's ``finally:`` flush (the marked sections
+    end there); falls back to the function end."""
+    for number in range(start, min(end, len(lines)) + 1):
+        if lines[number - 1].strip().startswith("finally:"):
+            return number
+    return end
+
+
+_EFFECTS_SECTION = re.compile(
+    r"Effects:\s*\n\s*writes:\s*(?P<roots>[^\n]*(?:\n\s+[^\n:]+)*)",
+)
+
+
+def parse_effects_annotation(docstring: str | None) -> set[str] | None:
+    """Extract the declared write-root set from a stage docstring's
+    ``Effects:`` section, or None when the section is absent."""
+    if not docstring:
+        return None
+    match = _EFFECTS_SECTION.search(docstring)
+    if not match:
+        return None
+    text = " ".join(match.group("roots").split())
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+def _check_docstrings(
+    model: EffectModel,
+    stages: list[StageSummary],
+    diags: list[HostDiagnostic],
+) -> None:
+    by_name = {stage.name: stage for stage in stages}
+    for name in ANNOTATED_STAGES:
+        stage = by_name.get(name)
+        if stage is None:
+            continue
+        file = model.modules[stage.function.module].file
+        declared = parse_effects_annotation(stage.function.docstring)
+        computed = {path.split(".")[0] for path in stage.summary.writes}
+        if declared is None:
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT006",
+                    file,
+                    stage.function.lineno,
+                    f"stage {name} has no 'Effects:' docstring annotation "
+                    f"(computed write roots: {', '.join(sorted(computed))})",
+                    subject=f"annotation:{name}",
+                )
+            )
+            continue
+        if declared != computed:
+            missing = sorted(computed - declared)
+            extra = sorted(declared - computed)
+            parts = []
+            if missing:
+                parts.append(f"missing {missing}")
+            if extra:
+                parts.append(f"stale {extra}")
+            diags.append(
+                HostDiagnostic(
+                    "DRIFT006",
+                    file,
+                    stage.function.lineno,
+                    f"stage {name} 'Effects:' annotation out of date: "
+                    + "; ".join(parts),
+                    subject=f"annotation:{name}",
+                )
+            )
+
+
+def run_driftcheck(tree: SourceTree) -> list[HostDiagnostic]:
+    """Run every drift rule over a source tree; returns the findings."""
+    model = EffectModel(tree)
+    diags: list[HostDiagnostic] = []
+    ref = model.reference_summary()
+    fast = model.fast_summary()
+    covered = _delegated_coverage(model, diags)
+    _check_write_coverage(model, ref, fast, covered, diags)
+    _check_delegations(model, fast, diags)
+    _check_fast_only(model, fast, diags)
+    stages = model.reference_stages()
+    _check_stage_order(model, stages, diags)
+    _check_docstrings(model, stages, diags)
+    return diags

@@ -1,0 +1,422 @@
+"""Interprocedural per-stage effect summaries over the simulator source.
+
+:class:`EffectModel` parses the pipeline + core modules (through a
+:class:`SourceTree`, so tests can substitute perturbed copies of any
+module without touching the working tree) and answers two questions:
+
+* what state paths does each **reference stage** of ``SMTCore.step``
+  write, reading through the ``core/`` helpers it calls
+  (``rst.update_dest`` -> ``rst._bits``/``rst._taint``, the squash
+  machinery, the regmerge/sync FSMs, ...)?
+* what state paths does the **fast loop** (``FastSMTCore._run_fast``)
+  write directly — through its hoisted aliases, its closures, and its
+  ``finally`` flush — and which reference methods does it *call* instead
+  of replicating?
+
+Calls into components whose source is not part of the analyzed set (the
+memory hierarchy, branch predictors, functional oracles) stay **opaque
+calls**; the drift checker matches those call-for-call between the two
+engines under the boundary spec's replication map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.host.ir import (
+    CallSite,
+    Effect,
+    FunctionIR,
+    ModuleIR,
+    parse_module,
+)
+
+#: The module set the host analysis reasons about.  Everything else the
+#: simulator imports (memory hierarchy, branch predictors, functional
+#: oracles, observability) is treated as an opaque component boundary.
+HOST_MODULES: tuple[str, ...] = (
+    "repro.pipeline.smt",
+    "repro.pipeline.fast",
+    "repro.pipeline.fetch_stage",
+    "repro.pipeline.rename_stage",
+    "repro.pipeline.issue_stage",
+    "repro.pipeline.commit_stage",
+    "repro.pipeline.lsq",
+    "repro.pipeline.rat",
+    "repro.pipeline.regfile",
+    "repro.pipeline.squash",
+    "repro.core.rst",
+    "repro.core.lvip",
+    "repro.core.sync",
+    "repro.core.regmerge",
+    "repro.core.fhb",
+    "repro.core.splitter",
+)
+
+#: The reference engine's cycle, as stage names in ``SMTCore.step`` order.
+STAGE_ORDER: tuple[str, ...] = (
+    "hierarchy.tick",
+    "regmerge.new_cycle",
+    "commit_stage",
+    "writeback_stage",
+    "lsq.process_loads",
+    "issue_stage",
+    "rename_stage",
+    "fetch_stage",
+)
+
+#: The six stage bodies that carry docstring-level effect annotations.
+ANNOTATED_STAGES: tuple[str, ...] = (
+    "commit_stage",
+    "writeback_stage",
+    "lsq.process_loads",
+    "issue_stage",
+    "rename_stage",
+    "fetch_stage",
+)
+
+_MAX_DEPTH = 10
+
+
+class SourceTree:
+    """Loads module sources from a ``src/`` root, with per-module string
+    overrides so checks can run against perturbed copies (the mutation
+    test suite) or unsaved editor buffers."""
+
+    def __init__(
+        self, root: str | Path, overrides: Mapping[str, str] | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.overrides = dict(overrides or {})
+
+    def file_of(self, module: str) -> Path:
+        return self.root / (module.replace(".", "/") + ".py")
+
+    def load(self, module: str) -> tuple[str, str]:
+        """Return ``(file, source)`` for a module."""
+        file = self.file_of(module)
+        if module in self.overrides:
+            return str(file), self.overrides[module]
+        return str(file), file.read_text()
+
+
+@dataclass
+class Summary:
+    """Union effect summary: path -> first Effect, callee -> first site."""
+
+    writes: dict[str, Effect] = field(default_factory=dict)
+    reads: dict[str, Effect] = field(default_factory=dict)
+    #: Calls left unexpanded: components outside the analyzed module set.
+    opaque_calls: dict[str, CallSite] = field(default_factory=dict)
+    #: Calls from fast code into reference-family methods (candidate
+    #: delegation points); empty for reference-side summaries.
+    delegations: dict[str, CallSite] = field(default_factory=dict)
+
+    def add_write(self, path: str, effect: Effect) -> None:
+        self.writes.setdefault(path, effect)
+
+    def add_read(self, path: str, effect: Effect) -> None:
+        self.reads.setdefault(path, effect)
+
+
+@dataclass
+class StageSummary:
+    """One reference stage: its position in the cycle and its effects."""
+
+    name: str
+    index: int
+    summary: Summary
+    function: FunctionIR
+
+
+def _apply_prefix(path: str, prefix: str) -> str:
+    if path.startswith("^"):
+        return path[1:]
+    return prefix + path if prefix else path
+
+
+class EffectModel:
+    """Parsed IR for the analyzed module set + interprocedural expansion."""
+
+    def __init__(self, tree: SourceTree) -> None:
+        self.tree = tree
+        self.modules: dict[str, ModuleIR] = {}
+        for module in HOST_MODULES:
+            file, source = tree.load(module)
+            self.modules[module] = parse_module(module, file, source)
+        #: Global class index (class name -> ClassIR); names are unique
+        #: across the analyzed set.
+        self.classes = {
+            name: cls
+            for mod in self.modules.values()
+            for name, cls in mod.classes.items()
+        }
+        #: Module-level free functions by bare name (the squash machinery).
+        self.functions = {
+            name: fn
+            for mod in self.modules.values()
+            for name, fn in mod.functions.items()
+        }
+        self.core_methods = self.family_methods("SMTCore")
+        self.fast_own_methods = self.classes["FastSMTCore"].methods
+        self.fast_own_qualnames = {
+            fn.qualname for fn in self.fast_own_methods.values()
+        }
+        self.core_family = set(self._family_order("FastSMTCore"))
+        #: Component attribute -> class, merged across the core family's
+        #: ``__init__`` methods (``rst`` -> ``RegisterSharingTable``, ...).
+        self.core_attr_types: dict[str, str] = {}
+        for cls_name in self._family_order("FastSMTCore"):
+            self.core_attr_types.update(self.classes[cls_name].attr_types)
+
+    # ------------------------------------------------------------ indexing
+
+    def _family_order(self, cls_name: str) -> list[str]:
+        """The class and its analyzable bases, most-derived first."""
+        order: list[str] = []
+        stack = [cls_name]
+        while stack:
+            name = stack.pop(0)
+            if name in self.classes and name not in order:
+                order.append(name)
+                stack.extend(self.classes[name].bases)
+        return order
+
+    def family_methods(self, cls_name: str) -> dict[str, FunctionIR]:
+        """Method table with derived classes overriding their bases."""
+        methods: dict[str, FunctionIR] = {}
+        for name in self._family_order(cls_name):
+            for mname, fn in self.classes[name].methods.items():
+                methods.setdefault(mname, fn)
+        return methods
+
+    def file_of_function(self, fn: FunctionIR) -> str:
+        return self.modules[fn.module].file
+
+    def _resolve_component(self, receiver: str, attrs: dict[str, str]) -> str | None:
+        """Walk a dotted receiver path through component attr types to its
+        class name, or None when any hop leaves the analyzed set."""
+        current = attrs
+        cls_name: str | None = None
+        for part in receiver.split("."):
+            cls_name = current.get(part)
+            if cls_name is None or cls_name not in self.classes:
+                return None
+            current = self.classes[cls_name].attr_types
+        return cls_name
+
+    # ----------------------------------------------------------- expansion
+
+    def expand(
+        self,
+        fn: FunctionIR,
+        *,
+        cls_name: str | None,
+        prefix: str = "",
+        fast_side: bool = False,
+        out: Summary | None = None,
+        _stack: frozenset[str] = frozenset(),
+        _depth: int = 0,
+    ) -> Summary:
+        """Interprocedural effect summary of *fn*.
+
+        Reference side (``fast_side=False``): every resolvable call is
+        inlined.  Fast side: calls resolving to ``FastSMTCore``'s own
+        methods are inlined, but calls landing in the reference family are
+        recorded as *delegations* — the drift checker decides whether each
+        is declared in the boundary spec.
+        """
+        summary = out if out is not None else Summary()
+        if _depth > _MAX_DEPTH or fn.qualname in _stack:
+            return summary
+        stack = _stack | {fn.qualname}
+        for effect in fn.writes:
+            summary.add_write(_apply_prefix(effect.path, prefix), effect)
+        for effect in fn.reads:
+            summary.add_read(_apply_prefix(effect.path, prefix), effect)
+        for call in fn.calls:
+            self._expand_call(
+                call, cls_name, prefix, fast_side, summary, stack, _depth
+            )
+        return summary
+
+    def _expand_call(
+        self,
+        call: CallSite,
+        cls_name: str | None,
+        prefix: str,
+        fast_side: bool,
+        summary: Summary,
+        stack: frozenset[str],
+        depth: int,
+    ) -> None:
+        callee = call.callee
+        if callee.startswith("super."):
+            summary.delegations.setdefault(f"self.{callee[6:]}", call)
+            return
+        if callee.startswith("self."):
+            method = callee[5:]
+            if fast_side:
+                fn = self.fast_own_methods.get(method)
+                if fn is not None and fn.qualname not in stack:
+                    self.expand(
+                        fn,
+                        cls_name=cls_name,
+                        prefix=prefix,
+                        fast_side=fast_side,
+                        out=summary,
+                        _stack=stack,
+                        _depth=depth + 1,
+                    )
+                elif method in self.core_methods:
+                    summary.delegations.setdefault(callee, call)
+                else:
+                    summary.opaque_calls.setdefault(
+                        _apply_prefix(callee, prefix), call
+                    )
+                return
+            table = (
+                self.family_methods(cls_name)
+                if cls_name is not None and cls_name in self.classes
+                else self.core_methods
+            )
+            fn = table.get(method)
+            if fn is not None and fn.qualname not in stack:
+                self.expand(
+                    fn,
+                    cls_name=cls_name,
+                    prefix=prefix,
+                    fast_side=fast_side,
+                    out=summary,
+                    _stack=stack,
+                    _depth=depth + 1,
+                )
+            else:
+                summary.opaque_calls.setdefault(
+                    _apply_prefix(callee, prefix), call
+                )
+            return
+        if "." in callee:
+            receiver, method = callee.rsplit(".", 1)
+            if receiver in self.classes:
+                # Class-qualified call (``SMTCore.run(self)``): on the
+                # fast side a reference-family target is a delegation.
+                fn = self.family_methods(receiver).get(method)
+                if (
+                    fast_side
+                    and receiver in self.core_family
+                    and (
+                        fn is None
+                        or fn.qualname not in self.fast_own_qualnames
+                    )
+                ):
+                    summary.delegations.setdefault(callee, call)
+                elif fn is not None and fn.qualname not in stack:
+                    self.expand(
+                        fn,
+                        cls_name=receiver,
+                        prefix="",
+                        fast_side=fast_side,
+                        out=summary,
+                        _stack=stack,
+                        _depth=depth + 1,
+                    )
+                return
+            receiver_abs = _apply_prefix(receiver, prefix)
+            attrs = (
+                self.classes[cls_name].attr_types
+                if cls_name is not None
+                and cls_name in self.classes
+                and not receiver.startswith("^")
+                else self.core_attr_types
+            )
+            if cls_name in ("SMTCore", "FastSMTCore") or receiver.startswith("^"):
+                attrs = self.core_attr_types
+            comp_cls = self._resolve_component(receiver_abs, attrs)
+            if comp_cls is not None:
+                fn = self.classes[comp_cls].methods.get(method)
+                if fn is not None and fn.qualname not in stack:
+                    self.expand(
+                        fn,
+                        cls_name=comp_cls,
+                        prefix=receiver_abs + ".",
+                        fast_side=False,
+                        out=summary,
+                        _stack=stack,
+                        _depth=depth + 1,
+                    )
+                    return
+            summary.opaque_calls.setdefault(
+                f"{receiver_abs}.{method}", call
+            )
+            return
+        # Bare name: a hoisted bound method resolves through the alias
+        # environment before reaching here, so this is a module-level
+        # function (the squash machinery) or a builtin.
+        fn = self.functions.get(callee)
+        if fn is not None and fn.qualname not in stack:
+            self.expand(
+                fn,
+                cls_name=None,
+                prefix="",
+                fast_side=False,
+                out=summary,
+                _stack=stack,
+                _depth=depth + 1,
+            )
+
+    # ------------------------------------------------------------- queries
+
+    def stage_function(self, stage: str) -> FunctionIR:
+        """The FunctionIR behind a stage name from :data:`STAGE_ORDER`."""
+        if "." in stage:
+            receiver, method = stage.rsplit(".", 1)
+            comp_cls = self._resolve_component(receiver, self.core_attr_types)
+            if comp_cls is None:
+                raise KeyError(stage)
+            return self.classes[comp_cls].methods[method]
+        return self.core_methods[stage]
+
+    def reference_stages(self) -> list[StageSummary]:
+        """Per-stage summaries, in ``SMTCore.step`` order; stages whose
+        source lives outside the analyzed set are skipped."""
+        stages: list[StageSummary] = []
+        for index, name in enumerate(STAGE_ORDER):
+            try:
+                fn = self.stage_function(name)
+            except KeyError:
+                continue
+            prefix = name.rsplit(".", 1)[0] + "." if "." in name else ""
+            cls_ctx = (
+                self._resolve_component(
+                    name.rsplit(".", 1)[0], self.core_attr_types
+                )
+                if "." in name
+                else "SMTCore"
+            )
+            summary = self.expand(fn, cls_name=cls_ctx, prefix=prefix)
+            stages.append(StageSummary(name, index, summary, fn))
+        return stages
+
+    def reference_summary(self) -> Summary:
+        """Everything the reference engine's ``run`` loop may write."""
+        out = Summary()
+        self.expand(self.core_methods["run"], cls_name="SMTCore", out=out)
+        return out
+
+    def fast_loop_function(self) -> FunctionIR:
+        return self.fast_own_methods["_run_fast"]
+
+    def fast_summary(self) -> Summary:
+        """The fast engine's effects: ``run`` + ``_run_fast`` + fast-own
+        helpers, with reference-family calls kept as delegations."""
+        out = Summary()
+        self.expand(
+            self.fast_own_methods["run"],
+            cls_name="FastSMTCore",
+            fast_side=True,
+            out=out,
+        )
+        return out

@@ -1,0 +1,470 @@
+"""AST -> normalized effect IR for the simulator's own source.
+
+Every function/method is summarized as the set of **state paths** it reads
+and writes plus the calls it makes.  A state path is a dotted attribute
+chain rooted at the simulated core object: ``self.stats.cycles`` inside a
+method normalizes to ``stats.cycles``; a free function whose first
+parameter is ``core`` (the squash machinery) normalizes ``core.rst._bits``
+to ``rst._bits``.
+
+The extractor understands the fast loop's *hoisting idiom*: a local
+assignment ``rst_bits = rst._bits`` (where ``rst`` itself aliases
+``self.rst``) makes ``rst_bits`` an alias for the path ``rst._bits``, so a
+later ``rst_bits[r] = m`` or ``free_pregs.append(p)`` is attributed to the
+underlying state path, and ``lvip_predict(...)`` (a hoisted bound method)
+is attributed as a call to ``lvip.predict_identical``.  Writes through a
+subscript are attributed to the container path; calls to known mutating
+methods (``append``/``popleft``/``update``/...) count as writes.  Writes
+whose receiver cannot be resolved to a state path (per-instruction
+``DynInst`` fields, local scratch objects) are intentionally ignored — the
+same unresolved receivers appear on both engines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Parameter names treated as the core root (path prefix dropped).
+ROOT_PARAMS = ("self", "core")
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "add",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "rotate",
+        "fill",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One read or write of a state path, with source provenance."""
+
+    path: str
+    lineno: int
+    via: str  # qualname of the (possibly nested) function it occurs in
+
+    @property
+    def root(self) -> str:
+        return self.path.lstrip("^").split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call whose target resolves to a state path method, a method on
+    the core root (``self.m``), or a module-level function name."""
+
+    callee: str
+    lineno: int
+    via: str
+
+
+@dataclass
+class FunctionIR:
+    """Effect summary of one function or method (closures folded in)."""
+
+    module: str
+    qualname: str
+    name: str
+    lineno: int
+    end_lineno: int
+    docstring: str | None
+    writes: tuple[Effect, ...]
+    reads: tuple[Effect, ...]
+    calls: tuple[CallSite, ...]
+
+
+@dataclass
+class ClassIR:
+    """One class: its methods plus the component types its ``__init__``
+    installs (``self.rst = RegisterSharingTable(...)`` -> ``rst`` is a
+    ``RegisterSharingTable``)."""
+
+    name: str
+    module: str
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionIR]
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleIR:
+    """Parsed effect IR of one module."""
+
+    module: str
+    file: str
+    functions: dict[str, FunctionIR]
+    classes: dict[str, ClassIR]
+
+
+class _EffectExtractor:
+    """Walks one function body, tracking local path aliases in source
+    order and accumulating effects (recursing into nested defs with a
+    snapshot of the alias environment)."""
+
+    def __init__(self, qualname: str, root_param: str | None) -> None:
+        self.qualname = qualname
+        self.root_param = root_param
+        self.env: dict[str, str] = {}
+        self.writes: list[Effect] = []
+        self.reads: list[Effect] = []
+        self.calls: list[CallSite] = []
+
+    # ---------------------------------------------------------- resolution
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve an expression to a state path, or None."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id not in self.env:
+                if value.id == self.root_param:
+                    return node.attr
+                if value.id in ROOT_PARAMS:
+                    # A non-first ``core`` parameter (helpers like
+                    # ``LoadStoreQueue.process_loads(self, core)``): its
+                    # paths are absolute core paths, never re-prefixed by
+                    # the caller.  Marked with a leading "^".
+                    return f"^{node.attr}"
+            base = self.resolve(value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        if isinstance(node, ast.Subscript):
+            # A write through (or alias of) a subscript is attributed to
+            # the container: ``rat_map[u][dst] = x`` mutates ``rat._map``.
+            return self.resolve(node.value)
+        return None
+
+    # ----------------------------------------------------------- recording
+
+    def _write(self, path: str, lineno: int) -> None:
+        self.writes.append(Effect(path, lineno, self.qualname))
+
+    def _read(self, path: str, lineno: int) -> None:
+        self.reads.append(Effect(path, lineno, self.qualname))
+
+    def _record_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_target(target.value)
+            return
+        if isinstance(target, ast.Name):
+            # Rebinding a local; if it aliased a path, the alias dies.
+            self.env.pop(target.id, None)
+            return
+        path = self.resolve(target)
+        if path is not None:
+            self._write(path, target.lineno)
+
+    def _kill_bound_names(self, target: ast.expr) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.env.pop(node.id, None)
+
+    # ------------------------------------------------------------- walking
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            alias = self._try_alias(stmt)
+            if not alias:
+                for target in stmt.targets:
+                    self._record_target(target)
+                    self._visit_expr_children(target)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                # ``x += 1`` rebinds the local: if x aliased a path this is
+                # a *new* local value, not a state write (hoisted widths
+                # like ``num_alu`` are consumed this way).
+                self.env.pop(stmt.target.id, None)
+                return
+            path = self.resolve(stmt.target)
+            if path is not None:
+                self._write(path, stmt.lineno)
+                self._read(path, stmt.lineno)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+            self._record_target(stmt.target)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                path = self.resolve(target)
+                if path is not None:
+                    self._write(path, stmt.lineno)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = _EffectExtractor(
+                f"{self.qualname}.{stmt.name}", self.root_param
+            )
+            nested.env = dict(self.env)
+            nested.run(list(stmt.body))
+            self.writes.extend(nested.writes)
+            self.reads.extend(nested.reads)
+            self.calls.extend(nested.calls)
+            return
+        if isinstance(stmt, ast.For):
+            self._visit_expr(stmt.iter)
+            self._kill_bound_names(stmt.target)
+            self.run(list(stmt.body))
+            self.run(list(stmt.orelse))
+            return
+        if isinstance(stmt, (ast.While, ast.If)):
+            self._visit_expr(stmt.test)
+            self.run(list(stmt.body))
+            self.run(list(stmt.orelse))
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._visit_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._kill_bound_names(item.optional_vars)
+            self.run(list(stmt.body))
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(list(stmt.body))
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env.pop(handler.name, None)
+                self.run(list(handler.body))
+            self.run(list(stmt.orelse))
+            self.run(list(stmt.finalbody))
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._visit_expr(stmt.value)
+            return
+        # Raise/Assert/Pass/Break/Continue/Import/Global/...: visit any
+        # embedded expressions generically.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _try_alias(self, stmt: ast.Assign) -> bool:
+        """``local = <path>`` introduces an alias (and a read), without a
+        state write.  Only plain single-name targets qualify."""
+        if len(stmt.targets) != 1:
+            return False
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return False
+        # Only pure attribute chains alias their path: ``di = rob[0]``
+        # binds an *element*, and writes through ``di`` are per-entry
+        # state, not writes to the container.
+        node: ast.expr = stmt.value
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if not isinstance(node, ast.Name):
+            container = self.resolve(stmt.value)
+            if container is not None:
+                self._read(container, stmt.lineno)
+            self.env.pop(target.id, None)
+            return container is not None
+        path = self.resolve(stmt.value)
+        if path is None:
+            self.env.pop(target.id, None)
+            return False
+        self.env[target.id] = path
+        self._read(path, stmt.lineno)
+        return True
+
+    # ---------------------------------------------------------- expression
+
+    def _visit_expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            return
+        path = self.resolve(node) if isinstance(node, ast.Attribute) else None
+        if path is not None:
+            self._read(path, node.lineno)
+        self._visit_expr_children(node)
+
+    def _visit_expr_children(self, node: ast.expr) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._kill_bound_names(child.target)
+                self._visit_expr(child.iter)
+                for cond in child.ifs:
+                    self._visit_expr(cond)
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+            ):
+                self.calls.append(
+                    CallSite(f"super.{func.attr}", node.lineno, self.qualname)
+                )
+                for arg in node.args:
+                    self._visit_expr(arg)
+                for kw in node.keywords:
+                    self._visit_expr(kw.value)
+                return
+            recv_path = self.resolve(func.value)
+            if recv_path is not None:
+                callee = f"{recv_path}.{func.attr}"
+                self.calls.append(CallSite(callee, node.lineno, self.qualname))
+                self._read(recv_path, node.lineno)
+                if func.attr in MUTATORS:
+                    self._write(recv_path, node.lineno)
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id == self.root_param
+            ):
+                self.calls.append(
+                    CallSite(f"self.{func.attr}", node.lineno, self.qualname)
+                )
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id[:1].isupper()
+                and func.value.id not in self.env
+            ):
+                # Class-qualified call: ``SMTCore.run(self)`` (the
+                # observer-fallback idiom) or a classmethod constructor.
+                self.calls.append(
+                    CallSite(
+                        f"{func.value.id}.{func.attr}",
+                        node.lineno,
+                        self.qualname,
+                    )
+                )
+            else:
+                self._visit_expr(func.value)
+        elif isinstance(func, ast.Name):
+            # A hoisted bound method (``lvip_predict = self.lvip.
+            # predict_identical``) calls through a plain name.
+            target = self.env.get(func.id, func.id)
+            self.calls.append(CallSite(target, node.lineno, self.qualname))
+        else:
+            self._visit_expr(func)
+        for arg in node.args:
+            self._visit_expr(arg)
+        for kw in node.keywords:
+            self._visit_expr(kw.value)
+
+
+def _root_param_of(fn: ast.FunctionDef) -> str | None:
+    args = fn.args.posonlyargs + fn.args.args
+    if args and args[0].arg in ROOT_PARAMS:
+        return args[0].arg
+    return None
+
+
+def extract_function(fn: ast.FunctionDef, module: str, qualname: str) -> FunctionIR:
+    """Summarize one function/method (nested defs folded in)."""
+    extractor = _EffectExtractor(qualname, _root_param_of(fn))
+    extractor.run(list(fn.body))
+    return FunctionIR(
+        module=module,
+        qualname=qualname,
+        name=fn.name,
+        lineno=fn.lineno,
+        end_lineno=fn.end_lineno or fn.lineno,
+        docstring=ast.get_docstring(fn),
+        writes=tuple(extractor.writes),
+        reads=tuple(extractor.reads),
+        calls=tuple(extractor.calls),
+    )
+
+
+def _class_attr_types(cls: ast.ClassDef) -> dict[str, str]:
+    """``self.rst = RegisterSharingTable(...)`` (or a classmethod
+    constructor ``RegisterSharingTable.for_multi_threaded(...)``) in any
+    method maps the attribute to its component class."""
+    types: dict[str, str] = {}
+    for method in cls.body:
+        if not isinstance(method, ast.FunctionDef):
+            continue
+        root = _root_param_of(method)
+        if root is None:
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == root
+            ):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            cls_name: str | None = None
+            if isinstance(func, ast.Name) and func.id[:1].isupper():
+                cls_name = func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id[:1].isupper()
+            ):
+                cls_name = func.value.id  # classmethod constructor
+            if cls_name is not None and target.attr not in types:
+                types[target.attr] = cls_name
+    return types
+
+
+def parse_module(module: str, file: str, source: str) -> ModuleIR:
+    """Parse one module's source into its effect IR."""
+    tree = ast.parse(source, filename=file)
+    functions: dict[str, FunctionIR] = {}
+    classes: dict[str, ClassIR] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            functions[node.name] = extract_function(node, module, node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods: dict[str, FunctionIR] = {}
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    methods[item.name] = extract_function(
+                        item, module, f"{node.name}.{item.name}"
+                    )
+            bases = tuple(
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            )
+            classes[node.name] = ClassIR(
+                name=node.name,
+                module=module,
+                bases=bases,
+                methods=methods,
+                attr_types=_class_attr_types(node),
+            )
+    return ModuleIR(module=module, file=file, functions=functions, classes=classes)

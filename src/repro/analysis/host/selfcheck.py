@@ -1,0 +1,135 @@
+"""`repro selfcheck`: the unified host self-analysis gate.
+
+Runs the clone-consistency drift check and the determinism lint over the
+simulator's own source and reduces them to one exit-code decision.  A
+**baseline** file (JSON list of finding fingerprints) pins findings that
+have been reviewed and accepted; only *new* findings fail the gate, so
+the check can be adopted incrementally and a regression can never hide
+behind an old accepted finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.host.diagnostics import HostDiagnostic
+from repro.analysis.host.driftcheck import run_driftcheck
+from repro.analysis.host.effects import SourceTree
+from repro.analysis.host.rules import lint_paths
+
+#: Schema version shared by ``selfcheck --json`` and ``analyze --json``.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SelfCheckReport:
+    """All findings of one selfcheck run plus the baseline decision."""
+
+    findings: list[HostDiagnostic]
+    baseline: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def new_findings(self) -> list[HostDiagnostic]:
+        return [
+            f
+            for f in self.findings
+            if not f.suppressed and f.fingerprint not in self.baseline
+        ]
+
+    @property
+    def baselined_findings(self) -> list[HostDiagnostic]:
+        return [
+            f
+            for f in self.findings
+            if not f.suppressed and f.fingerprint in self.baseline
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "tool": "repro-selfcheck",
+            "schema_version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "findings": [f.to_json() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.baselined_findings),
+                "suppressed": sum(1 for f in self.findings if f.suppressed),
+            },
+        }
+
+    def format_table(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            status = (
+                "baselined"
+                if finding.fingerprint in self.baseline
+                else "NEW"
+            )
+            lines.append(f"[{status}] {finding.format()}")
+        summary = self.to_json()["summary"]
+        lines.append(
+            f"selfcheck: {summary['total']} finding(s), "
+            f"{summary['new']} new, {summary['baselined']} baselined"
+        )
+        return "\n".join(lines)
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Read a pinned-findings baseline (missing file = empty baseline)."""
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text())
+    entries = data["findings"] if isinstance(data, dict) else data
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(str(entry["fingerprint"]))
+    return frozenset(fingerprints)
+
+
+def write_baseline(report: SelfCheckReport, path: Path) -> None:
+    """Pin the current findings: each entry keeps the human-readable
+    context next to the fingerprint that actually matters."""
+    payload = {
+        "tool": "repro-selfcheck",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "file": f.file,
+                "subject": f.subject,
+                "message": f.message,
+            }
+            for f in report.findings
+            if not f.suppressed
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def run_selfcheck(
+    root: str | Path = "src",
+    *,
+    overrides: Mapping[str, str] | None = None,
+    baseline: Path | None = None,
+) -> SelfCheckReport:
+    """Run every host checker over the tree rooted at *root* (the
+    ``src/`` directory).  *overrides* substitutes module sources (the
+    mutation-test hook); *baseline* pins accepted findings."""
+    tree = SourceTree(root, overrides)
+    findings = run_driftcheck(tree)
+    findings.extend(lint_paths([Path(root) / "repro"]))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    pinned = load_baseline(baseline) if baseline is not None else frozenset()
+    return SelfCheckReport(findings=findings, baseline=pinned)

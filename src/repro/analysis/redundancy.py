@@ -53,6 +53,7 @@ from repro.analysis.values import (
     analyze_values_cfg,
     exact_affine_of,
     is_varying,
+    regions_from_symbols,
 )
 from repro.core.config import WorkloadType
 from repro.isa.program import Program
@@ -417,7 +418,13 @@ def analyze_limit_build(build: WorkloadBuild) -> OracleReport:
         build.nctx,
         sp_divergent=False,
         name=build.program.name + "-limit",
-        memory=MemoryModel(dict(build.program.data)),
+        memory=MemoryModel(
+            dict(build.program.data),
+            regions=regions_from_symbols(
+                getattr(build.program, "symbols", None) or {},
+                build.program.data,
+            ),
+        ),
         lvip_eligible=True,
         tid_value=0,
     )
@@ -431,6 +438,12 @@ def analyze_mp_build(build: MPWorkloadBuild) -> OracleReport:
         sp_divergent=False,
         # Every rank boots from the same image in its own address space
         # (rank-specific inputs arrive by message, not by overlay).
-        memory=MemoryModel(dict(build.program.data)),
+        memory=MemoryModel(
+            dict(build.program.data),
+            regions=regions_from_symbols(
+                getattr(build.program, "symbols", None) or {},
+                build.program.data,
+            ),
+        ),
         lvip_eligible=True,
     )

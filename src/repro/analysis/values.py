@@ -43,7 +43,7 @@ and interval reasoning, which hold with or without lockstep.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import CFG
@@ -482,6 +482,43 @@ def _widen_value(old: Value, new: Value) -> Value:
 
 
 # ------------------------------------------------------------ memory model
+@dataclass(frozen=True)
+class Region:
+    """One named array of the data image: ``[start, end)`` in bytes."""
+
+    name: str
+    start: int
+    end: int
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+def regions_from_symbols(
+    symbols: Mapping[str, int], data: Mapping[int, int | float]
+) -> tuple[Region, ...]:
+    """Per-array region table from a program's symbol table.
+
+    Each symbol opens a region that runs to the next symbol's address;
+    the last region runs to the end of the mapped image (at least one
+    word, so a trailing empty array still gets a region).
+    """
+    if not symbols:
+        return ()
+    starts = sorted(symbols.items(), key=lambda item: (item[1], item[0]))
+    image_end = max(data, default=0) + WORD
+    regions: list[Region] = []
+    for index, (name, start) in enumerate(starts):
+        end = (
+            starts[index + 1][1]
+            if index + 1 < len(starts)
+            else max(image_end, start + WORD)
+        )
+        if end > start:
+            regions.append(Region(name, start, end))
+    return tuple(regions)
+
+
 class MemoryModel:
     """Which data-image words are identical across execution contexts.
 
@@ -491,6 +528,17 @@ class MemoryModel:
     different value — and no store can reach it (clobbered ranges are
     registered from the store sweep of a prior analysis phase, making
     the classification sound without a combined memory fixpoint).
+
+    With a *regions* table (per-array points-to refinement) the model
+    additionally enforces the **region-confinement contract**: an access
+    whose statically-known lower bound lands inside a named array is
+    assumed never to run past that array's end.  The workload generator
+    upholds this by construction — indices are masked to the array size
+    and cursors advance at most a fixed count per trip of a loop whose
+    trip count is sized to the array — and the claim is validated
+    dynamically: the campaign oracle gate fails any run with an LVIP
+    mispredict at a must-identical PC, so an unsound confinement
+    surfaces as a hard failure rather than silent optimism.
     """
 
     def __init__(
@@ -498,6 +546,7 @@ class MemoryModel:
         data: dict[int, int | float],
         overlays: Sequence[dict[int, int | float]] = (),
         shared: bool = False,
+        regions: Sequence[Region] = (),
     ) -> None:
         self._values: dict[int, list[int | float]] = {
             addr: [value] for addr, value in data.items()
@@ -514,6 +563,9 @@ class MemoryModel:
         # always holds; only stores (handled by the transfer's reaching-
         # store check) can make two threads observe different values.
         self.shared = shared
+        self.regions: tuple[Region, ...] = tuple(
+            sorted(regions, key=lambda region: region.start)
+        )
         self._clobbered: list[Interval] = []
         self._memo: dict[Interval, tuple[bool, Interval]] = {}
 
@@ -522,7 +574,34 @@ class MemoryModel:
         """Model for a generated workload build (per-instance overlays)."""
         program = build.program  # type: ignore[attr-defined]
         overlays = build.per_instance_data  # type: ignore[attr-defined]
-        return cls(dict(program.data), list(overlays), shared=shared)
+        symbols = getattr(program, "symbols", None) or {}
+        return cls(
+            dict(program.data),
+            list(overlays),
+            shared=shared,
+            regions=regions_from_symbols(symbols, program.data),
+        )
+
+    def region_at(self, addr: int) -> Region | None:
+        """The named array containing *addr*, if any."""
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def confine(self, lo: int | None, hi: int | None) -> Interval:
+        """Apply the region-confinement contract to an access interval.
+
+        An interval with a known lower bound inside a named array but no
+        upper bound (a widened cursor) is confined to that array; a
+        bounded interval is the analysis' own proof and is left alone.
+        """
+        if lo is None or hi is not None or lo < 0:
+            return (lo, hi)
+        region = self.region_at(lo)
+        if region is None:
+            return (lo, hi)
+        return (lo, region.end - 1)
 
     def clobber(self, lo: int | None, hi: int | None) -> None:
         """Register a store address range: those words are never identical."""
@@ -657,6 +736,7 @@ class _Transfer:
         """Strict cross-context identity of the load at *pc* over [lo, hi]."""
         if self.memory is None:
             return False, UNBOUNDED
+        lo, hi = self.memory.confine(lo, hi)
         if self._store_blocked(pc, lo, hi):
             return False, UNBOUNDED
         return self.memory.classify_load(lo, hi)
@@ -916,6 +996,9 @@ class LoadClass:
     addr_lo: int | None
     addr_hi: int | None
     must_identical: bool
+    #: Named array (per-array region) containing the confined lower
+    #: bound, when the program's symbol table resolves one.
+    region: str | None = None
 
 
 @dataclass
@@ -1156,10 +1239,22 @@ def _sweep(
             inst = cfg.instructions[pc]
             if inst.is_load:
                 lo, hi = transfer.access_address(inst, regs)
+                if transfer.memory is not None:
+                    lo, hi = transfer.memory.confine(lo, hi)
                 identical, _iv = transfer.classify(pc, lo, hi)
-                loads[pc] = LoadClass(pc, lo, hi, identical)
+                region = (
+                    transfer.memory.region_at(lo)
+                    if transfer.memory is not None and lo is not None
+                    else None
+                )
+                loads[pc] = LoadClass(
+                    pc, lo, hi, identical, region.name if region else None
+                )
             elif inst.is_store:
-                stores[pc] = transfer.access_address(inst, regs)
+                iv = transfer.access_address(inst, regs)
+                if transfer.memory is not None:
+                    iv = transfer.memory.confine(*iv)
+                stores[pc] = iv
             elif inst.is_branch:
                 branch_classes[pc] = classify_branch(inst, regs, engine.nctx)
             transfer.apply(pc, inst, regs)
@@ -1245,6 +1340,12 @@ def analyze_values_cfg(
 
     final_transfer = first
     if memory is not None:
+        # Phase 1 ran without the memory model, so its store intervals
+        # are unconfined; apply the region contract before they gate
+        # load classification.
+        store_ivs = {
+            pc: memory.confine(*iv) for pc, iv in store_ivs.items()
+        }
         reaching = _reaching_stores(cfg, store_ivs)
         final_transfer = _Transfer(nctx, memory, tid_value, reaching)
         engine = _Engine(cfg, nctx, boundary, final_transfer)

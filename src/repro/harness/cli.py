@@ -23,14 +23,21 @@ and a summary with cache hit/miss counts is printed at the end.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
+from repro.analysis.host.selfcheck import JSON_SCHEMA_VERSION
 from repro.core.config import MMTConfig
 from repro.harness import experiment, figures, report, results
 from repro.harness.experiment import CONFIG_FACTORIES
 from repro.pipeline.fast import ENGINES
 from repro.profiling.divergence import FIG2_BUCKETS
+
+#: The ``src/`` root the host self-analysis reads; located from the
+#: package itself so ``repro selfcheck`` works from any cwd.
+_SRC_ROOT = Path(__file__).resolve().parent.parent.parent
 
 
 def _fig1(args) -> str:
@@ -290,23 +297,89 @@ def _analyze(args) -> int:
             })
         rows.append(row)
         all_diags.extend((label, d) for d in diags)
+    # With the JSON document going to stdout, suppress the human-readable
+    # report so consumers can parse the output directly.
+    human_output = args.json != "-"
     columns = ["workload", "insts", "diags", "identical", "input_div",
                "control_div", "merge_ub", "rst_ub"]
     if args.values:
         columns += ["lvip_ub", "must_id", "widened"]
-    print(report.format_table(
-        rows,
-        columns=columns,
-        title=f"Static analysis — {len(targets)} workload(s)"
-              + (f", suppressed: {', '.join(suppress)}" if suppress else ""),
-    ))
-    for label, diag in all_diags:
-        print(f"{label}: {diag}")
+    if human_output:
+        print(report.format_table(
+            rows,
+            columns=columns,
+            title=f"Static analysis — {len(targets)} workload(s)"
+                  + (f", suppressed: {', '.join(suppress)}"
+                     if suppress else ""),
+        ))
+        for label, diag in all_diags:
+            print(f"{label}: {diag}")
+    if args.json:
+        document = {
+            "tool": "repro-analyze",
+            "schema_version": JSON_SCHEMA_VERSION,
+            "ok": not all_diags,
+            "findings": [
+                {
+                    "workload": label,
+                    "rule": diag.rule,
+                    "severity": diag.severity,
+                    "pc": diag.pc,
+                    "block": diag.block,
+                    "message": diag.message,
+                }
+                for label, diag in all_diags
+            ],
+            "summary": {
+                "workloads": len(targets),
+                "total": len(all_diags),
+                "suppressed_rules": sorted(suppress),
+            },
+            "workloads": rows,
+        }
+        _write_json_document(document, args.json)
     if all_diags:
-        print(f"\n{len(all_diags)} unsuppressed diagnostic(s)")
+        if human_output:
+            print(f"\n{len(all_diags)} unsuppressed diagnostic(s)")
         return 1
-    print("\nall workloads lint clean")
+    if human_output:
+        print("\nall workloads lint clean")
     return 0
+
+
+def _write_json_document(document, dest: str) -> None:
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        Path(dest).write_text(text)
+        print(f"[JSON report written to {dest}]")
+
+
+# --------------------------------------------------------------- selfcheck
+def _selfcheck(args) -> int:
+    """Host self-analysis: fast/reference drift check + determinism lint
+    over the simulator's own source."""
+    from repro.analysis.host.selfcheck import run_selfcheck, write_baseline
+
+    root = Path(args.root) if args.root else _SRC_ROOT
+    baseline = Path(args.baseline) if args.baseline else None
+    report = run_selfcheck(root, baseline=baseline)
+    if args.update_baseline:
+        if baseline is None:
+            print("error: --update-baseline requires --baseline PATH")
+            return 2
+        write_baseline(report, baseline)
+        print(
+            f"[baseline with {len(report.findings)} finding(s) written "
+            f"to {baseline}]"
+        )
+        return 0
+    if args.json:
+        _write_json_document(report.to_json(), args.json)
+    else:
+        print(report.format_table())
+    return 0 if report.ok else 1
 
 
 # ---------------------------------------------------------------- campaign
@@ -581,13 +654,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(TARGETS)
-        + ["analyze", "list", "campaign", "trace", "profile", "replay"],
+        + ["analyze", "list", "campaign", "trace", "profile", "replay",
+           "selfcheck"],
         help="which table/figure to regenerate ('list' to enumerate; "
         "'campaign' runs a parallel batch sweep; 'trace' runs one point "
         "with event tracing and interval metrics; 'profile' runs one "
         "point under the host self-profiler; 'replay' re-runs a flight "
         "dump under the oracle gate; 'analyze' statically lints "
-        "workloads and reports redundancy-oracle bounds)",
+        "workloads and reports redundancy-oracle bounds; 'selfcheck' "
+        "runs the host self-analysis: fast/reference drift check + "
+        "determinism lint over the simulator's own source)",
     )
     parser.add_argument(
         "--scale",
@@ -736,6 +812,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace_event JSON (Perfetto-loadable) to PATH",
     )
+    selfcheck = parser.add_argument_group("selfcheck target")
+    selfcheck.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accepted-findings baseline: findings pinned there do not "
+        "fail the gate (missing file = empty baseline)",
+    )
+    selfcheck.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    selfcheck.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="src/ root to analyze (default: the installed package's own "
+        "source tree)",
+    )
     replay = parser.add_argument_group("replay target")
     replay.add_argument(
         "--dump",
@@ -769,6 +865,8 @@ def main(argv=None) -> int:
               "oracle gate")
         print(f"{'analyze'.ljust(width)}  static workload lint + redundancy "
               "oracle bounds")
+        print(f"{'selfcheck'.ljust(width)}  host self-analysis: drift check "
+              "+ determinism lint")
         return 0
     if args.target == "campaign":
         return _campaign(args)
@@ -780,6 +878,8 @@ def main(argv=None) -> int:
         return _replay(args)
     if args.target == "analyze":
         return _analyze(args)
+    if args.target == "selfcheck":
+        return _selfcheck(args)
     if args.workers:
         figures.prefetch_figure(
             args.target, apps=args.apps, scale=args.scale,

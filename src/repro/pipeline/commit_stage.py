@@ -23,6 +23,13 @@ class CommitStageMixin:
     """Commit logic for :class:`~repro.pipeline.smt.SMTCore`."""
 
     def commit_stage(self) -> None:
+        """Retire DONE instructions in program order, round-robin across
+        threads, up to ``commit_width`` per cycle.
+
+        Effects:
+            writes: _commit_rr, finished, icount, ldst_ports_left, lsq,
+                regfile, regmerge, rob, stats, thread_queues
+        """
         cfg = self.config
         budget = cfg.commit_width
         progress = True

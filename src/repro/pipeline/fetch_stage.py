@@ -82,6 +82,14 @@ class FetchStageMixin:
 
     # ------------------------------------------------------------ main stage
     def fetch_stage(self) -> None:
+        """Fetch groups in ICOUNT priority order, one session per group,
+        driving prediction, hint parking, and the sync FSM.
+
+        Effects:
+            writes: _hint_parked, _seq, bpred, btb, decode_buffer,
+                fetch_done, fetch_stall_until, icount, ras,
+                stalled_on_branch, stats, sync
+        """
         cfg = self.config
         if self.mmt.shared_fetch:
             self._try_remerge()

@@ -38,6 +38,12 @@ class IssueStageMixin:
 
     # ----------------------------------------------------------------- issue
     def issue_stage(self) -> None:
+        """Issue ready instructions oldest-first, bounded by issue width
+        and ALU/FPU slots, scheduling completion/agen wakeups.
+
+        Effects:
+            writes: _agen_events, _complete_events, iq, stats
+        """
         cfg = self.config
         alu_slots = cfg.num_alu
         fpu_slots = cfg.num_fpu
@@ -111,6 +117,15 @@ class IssueStageMixin:
 
     # ------------------------------------------------------------- writeback
     def writeback_stage(self) -> None:
+        """Drain this cycle's agen/complete events: wake dependents,
+        verify LVIP uses, resolve control, update the RST.
+
+        Effects:
+            writes: _agen_events, _complete_events, decode_buffer,
+                fetch_stall_until, icount, iq, lsq, lvip, rat, regfile,
+                replay, rob, rst, stalled_on_branch, stats, sync,
+                thread_queues
+        """
         now = self.cycle
         for di in self._agen_events.pop(now, ()):  # loads: address generated
             if di.dead:

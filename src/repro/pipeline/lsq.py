@@ -63,7 +63,11 @@ class LoadStoreQueue:
 
     def process_loads(self, core) -> None:
         """Start pending load accesses, oldest first, one unit per load per
-        cycle (ME units serialize), bounded by ports and MSHRs."""
+        cycle (ME units serialize), bounded by ports and MSHRs.
+
+        Effects:
+            writes: ldst_ports_left, stats
+        """
         now = core.cycle
         for di in self.entries:
             if di.state is not InstState.WAITING_MEM or not di.inst.is_load:

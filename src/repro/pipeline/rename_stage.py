@@ -28,6 +28,13 @@ class RenameStageMixin:
     """Split/rename/dispatch logic for :class:`~repro.pipeline.smt.SMTCore`."""
 
     def rename_stage(self) -> None:
+        """Split, rename, and dispatch decoded groups while resources
+        last, consulting LVIP and allocating RST entries.
+
+        Effects:
+            writes: decode_buffer, iq, lsq, lvip, rat, regfile, regmerge,
+                rob, rst, stalled_on_branch, stats, thread_queues
+        """
         cfg = self.config
         width = cfg.issue_width
         while width > 0 and self.decode_buffer:

@@ -268,3 +268,48 @@ def test_diagnostics_are_structured_and_ordered():
         assert isinstance(d.block, int)
         assert d.message
         assert str(d.pc) in str(d)
+
+
+def test_multiple_rules_suppressed_at_once():
+    prog = assemble("add r1, r2, r3\nj Lend\nli r4, 1\nLend: halt")
+    diags = lint_program(prog, suppress=("undef-read", "unreachable-block"))
+    assert diags == []
+
+
+def test_suppressed_diagnostics_are_counted_not_lost():
+    """Suppressing a rule removes exactly that rule's diagnostics: the
+    per-rule counts of the unsuppressed run are preserved elsewhere."""
+    prog = assemble("add r1, r2, r3\nj Lend\nli r4, 1\nLend: halt")
+    full = lint_program(prog)
+    kept = lint_program(prog, suppress=("undef-read",))
+    dropped = [d for d in full if d.rule == "undef-read"]
+    assert len(kept) == len(full) - len(dropped)
+    assert dropped and all(d.rule != "undef-read" for d in kept)
+
+
+def test_unknown_suppression_mixed_with_known_rejected():
+    """One bad id poisons the whole call, and the error names every
+    unknown id (sorted) so a typo is immediately visible."""
+    prog = assemble("halt")
+    with pytest.raises(ValueError) as excinfo:
+        lint_program(
+            prog, suppress=("undef-read", "zzz-rule", "aaa-rule")
+        )
+    assert "aaa-rule" in str(excinfo.value)
+    assert "zzz-rule" in str(excinfo.value)
+    assert str(excinfo.value).index("aaa-rule") < str(
+        excinfo.value
+    ).index("zzz-rule")
+
+
+def test_suppressing_every_rule_is_allowed():
+    prog = assemble("add r1, r2, r3\nhalt")
+    assert lint_program(prog, suppress=tuple(RULES)) == []
+
+
+def test_empty_suppression_matches_default():
+    prog = assemble("add r1, r2, r3\nhalt")
+    key = lambda d: (d.pc, d.rule, d.message)  # noqa: E731
+    assert [key(d) for d in lint_program(prog, suppress=())] == [
+        key(d) for d in lint_program(prog)
+    ]

@@ -13,6 +13,7 @@ from repro.analysis.cfg import CFG
 from repro.analysis.redundancy import analyze_build
 from repro.analysis.values import (
     MemoryModel,
+    Region,
     WORD,
     affine,
     analyze_values_cfg,
@@ -23,6 +24,7 @@ from repro.analysis.values import (
     is_widened,
     join_value,
     maybe,
+    regions_from_symbols,
     uniform,
 )
 from repro.core.config import WorkloadType
@@ -281,3 +283,76 @@ def test_multi_threaded_apps_have_uniform_control(reports):
 def test_widening_engages_on_every_builtin(reports):
     for app, r in reports.items():
         assert r.widened_loop_headers > 0, app
+
+
+# ------------------------------------------------- per-array regions
+def test_regions_from_symbols_partition():
+    """Each symbol's region runs to the next symbol; the last to the
+    end of the mapped image."""
+    regions = regions_from_symbols(
+        {"a": 0, "b": 32}, {0: 1, 8: 1, 32: 2, 40: 2, 48: 2}
+    )
+    assert regions == (Region("a", 0, 32), Region("b", 32, 48 + WORD))
+
+
+def test_regions_from_symbols_empty():
+    assert regions_from_symbols({}, {0: 1}) == ()
+
+
+def test_confine_bounds_widened_cursor_to_its_region():
+    mem = MemoryModel({0: 5}, regions=(Region("a", 0, 32),))
+    assert mem.confine(8, None) == (8, 31)
+    # A bounded interval is the analysis' own proof: left alone.
+    assert mem.confine(8, 64) == (8, 64)
+    # Outside every region, or with no lower bound: left alone.
+    assert mem.confine(100, None) == (100, None)
+    assert mem.confine(None, None) == (None, None)
+
+
+def test_region_confinement_unblocks_disjoint_store():
+    """A widened cursor scanning array ``a`` is confined to ``a``, so a
+    store into the disjoint array ``b`` no longer blocks it."""
+    src = """
+    li r1, 0
+    li r5, 1
+    li r6, 64
+    sw r5, 0(r6)
+Lloop:
+    lw r2, 0(r1)
+    addi r1, r1, 8
+    lw r3, 0(r6)
+    bne r3, r0, Lloop
+    halt
+"""
+    data = {0: 5, 8: 5, 16: 5, 24: 5, 64: 0}
+    regions = (Region("a", 0, 32), Region("b", 64, 96))
+    prog = assemble(src)
+    cfg = CFG(prog.instructions, entry=prog.entry, name="test")
+    scan_pc = next(
+        pc for pc, inst in enumerate(cfg.instructions) if inst.is_load
+    )
+
+    plain = analyze_values_cfg(
+        cfg, 2, sp_divergent=False, memory=MemoryModel(data)
+    )
+    assert not plain.loads[scan_pc].must_identical
+
+    refined = analyze_values_cfg(
+        cfg, 2, sp_divergent=False,
+        memory=MemoryModel(data, regions=regions),
+    )
+    lc = refined.loads[scan_pc]
+    assert lc.must_identical
+    assert lc.region == "a"
+    assert (lc.addr_lo, lc.addr_hi) == (0, 31)
+
+
+def test_region_confinement_only_tightens_builtin_oracle(monkeypatch):
+    """With regions on, every built-in oracle keeps (at least) the
+    must-identical loads it proved without them."""
+    build = build_workload(get_profile("ammp"), 2, scale=0.3)
+    confined = analyze_build(build).lvip_must_identical_pcs
+    with monkeypatch.context() as m:
+        m.setattr(MemoryModel, "confine", lambda self, lo, hi: (lo, hi))
+        unconfined = analyze_build(build).lvip_must_identical_pcs
+    assert unconfined <= confined

@@ -122,3 +122,42 @@ def test_per_site_lvip_contract(app):
     assert checked <= report.lvip_eligible_pcs
     missed = frozenset(stats.lvip_site_mispredicts)
     assert not missed & report.lvip_must_identical_pcs
+
+
+# --------------------------------------------- per-array region refinement
+def test_region_confinement_sound_on_zero_divergence_scan(monkeypatch):
+    """Region confinement proves the flags-cursor scan loads identical
+    under a zero-divergence profile, and the dynamic run agrees.
+
+    The scan cursor widens to a half-open address range, so without the
+    per-array region table those loads are unclassifiable (the range
+    overlaps the output array's stores).  Confinement to the flags
+    region makes them must-identical; the contract it rests on (the
+    generator never runs a cursor past its array) is then validated
+    dynamically: the gained sites are exercised and never mispredict.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.values import MemoryModel
+
+    profile = replace(
+        get_profile("ammp"), name="ammp-zerodiv",
+        divergence_rate=0.0, dispatch_agree=1.0, input_similarity=1.0,
+    )
+    build = build_workload(profile, NCTX, scale=SCALE, seed=SEED)
+    report = analyze_build(build)
+    with monkeypatch.context() as m:
+        m.setattr(MemoryModel, "confine", lambda self, lo, hi: (lo, hi))
+        unconfined = analyze_build(build).lvip_must_identical_pcs
+    gained = report.lvip_must_identical_pcs - unconfined
+    assert gained, "confinement should prove extra loads identical"
+    assert unconfined <= report.lvip_must_identical_pcs
+
+    core, _job = run_pipeline(build, MMTConfig.mmt_fxr(), NCTX)
+    stats = core.stats
+    assert report.validate_against(stats) == []
+    checked = frozenset(stats.lvip_site_checks)
+    assert checked <= report.lvip_eligible_pcs
+    assert not frozenset(stats.lvip_site_mispredicts) & report.lvip_must_identical_pcs
+    # The refinement is load-bearing: the gained sites actually ran.
+    assert gained <= checked

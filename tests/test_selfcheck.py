@@ -1,0 +1,282 @@
+"""`repro selfcheck`: drift detector + determinism lint, mutation-tested.
+
+The drift checker's whole value is that it *fires* when the fast engine
+and the reference engine drift apart, so the core of this suite is a
+mutation test: perturb a pristine copy of the pipeline sources in four
+representative ways (an extra reference write, a dropped fast-loop
+replication, a boundary bypass, a stage-order swap) and require the
+check to produce the matching DRIFT finding.  The perturbations go
+through ``SourceTree`` overrides — the working tree is never modified.
+
+Unit coverage rides along: effect-summary sanity, the SIM lint rules
+and their pragmas, baseline round-trips, and the ``repro selfcheck``
+CLI exit codes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.host.diagnostics import HOST_RULES, HostDiagnostic
+from repro.analysis.host.driftcheck import run_driftcheck
+from repro.analysis.host.effects import EffectModel, SourceTree
+from repro.analysis.host.rules import file_disabled_rules, lint_source
+from repro.analysis.host.selfcheck import (
+    SelfCheckReport,
+    load_baseline,
+    run_selfcheck,
+    write_baseline,
+)
+from repro.pipeline import fast_boundary
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+FAST = "repro.pipeline.fast"
+COMMIT = "repro.pipeline.commit_stage"
+
+
+def source_of(module):
+    return (SRC / (module.replace(".", "/") + ".py")).read_text()
+
+
+def drift_findings(overrides=None):
+    return run_driftcheck(SourceTree(SRC, overrides))
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+def banner_index(lines, name):
+    """Line index of the ``# ---- <name>`` stage banner in fast.py."""
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("# ---") and line.rstrip().endswith(
+            " " + name
+        ):
+            return i
+    raise AssertionError(f"no banner for {name!r}")
+
+
+# ------------------------------------------------------------ clean tree
+def test_clean_tree_has_no_drift_findings():
+    assert drift_findings() == []
+
+
+def test_clean_tree_selfcheck_ok():
+    report = run_selfcheck(SRC)
+    assert report.ok, report.format_table()
+    assert report.new_findings == []
+
+
+# ---------------------------------------------------------- mutation test
+def test_mutation_extra_reference_write_fires_drift001():
+    """M1: a reference stage grows a state write the fast loop lacks."""
+    needle = "cfg = self.config\n        budget = cfg.commit_width"
+    source = source_of(COMMIT)
+    assert needle in source
+    mutated = source.replace(
+        needle,
+        "cfg = self.config\n        self.phantom_counter = 1\n"
+        "        budget = cfg.commit_width",
+    )
+    findings = drift_findings({COMMIT: mutated})
+    assert "DRIFT001" in rules_fired(findings)
+    assert any(
+        f.rule == "DRIFT001" and "phantom_counter" in f.message
+        for f in findings
+    )
+
+
+def test_mutation_dropped_fast_replication_fires_drift001():
+    """M2: the fast loop loses its inline RST sharing-word update."""
+    lines = source_of(FAST).splitlines(keepends=True)
+    start = next(
+        i
+        for i, line in enumerate(lines)
+        if "rst_bits[dst] = (rst_bits[dst] & ~touched) | (" in line
+    )
+    del lines[start : start + 3]
+    findings = drift_findings({FAST: "".join(lines)})
+    assert any(
+        f.rule == "DRIFT001" and f.subject == "path:rst._bits"
+        for f in findings
+    ), [f.format() for f in findings]
+
+
+def test_mutation_boundary_bypass_fires_drift003():
+    """M3: the fast loop calls a reference stage it must replicate."""
+    lines = source_of(FAST).splitlines(keepends=True)
+    i = banner_index(lines, "commit")
+    indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
+    lines.insert(i + 1, indent + "self.rename_stage()\n")
+    findings = drift_findings({FAST: "".join(lines)})
+    assert any(
+        f.rule == "DRIFT003" and "self.rename_stage" in f.message
+        for f in findings
+    ), [f.format() for f in findings]
+
+
+def test_mutation_stage_order_swap_fires_drift004():
+    """M4: the commit and writeback sections trade places."""
+    lines = source_of(FAST).splitlines(keepends=True)
+    ci = banner_index(lines, "commit")
+    wi = banner_index(lines, "writeback")
+    lines[ci], lines[wi] = lines[wi], lines[ci]
+    findings = drift_findings({FAST: "".join(lines)})
+    assert "DRIFT004" in rules_fired(findings), [
+        f.format() for f in findings
+    ]
+
+
+def test_mutation_stale_replicated_path_fires_drift005(monkeypatch):
+    """A REPLICATED_PATHS entry no reference stage writes is stale."""
+    monkeypatch.setattr(
+        fast_boundary,
+        "REPLICATED_PATHS",
+        {**fast_boundary.REPLICATED_PATHS, "rst.phantom": "bogus"},
+    )
+    findings = drift_findings()
+    assert any(
+        f.rule == "DRIFT005" and "rst.phantom" in f.message
+        for f in findings
+    ), [f.format() for f in findings]
+
+
+# ----------------------------------------------------------- effect model
+def test_reference_stages_cover_the_declared_order():
+    model = EffectModel(SourceTree(SRC))
+    names = [stage.name for stage in model.reference_stages()]
+    assert "commit_stage" in names
+    assert names.index("commit_stage") < names.index("fetch_stage")
+
+
+def test_fast_summary_declares_only_known_delegations():
+    model = EffectModel(SourceTree(SRC))
+    declared = {point.target for point in fast_boundary.DELEGATIONS}
+    for target in model.fast_summary().delegations:
+        assert target in declared, target
+
+
+def test_replicated_paths_written_by_both_sides():
+    """The spec's replication obligations are live on both engines."""
+    model = EffectModel(SourceTree(SRC))
+    ref = model.reference_summary()
+    fast = model.fast_summary()
+    for path in fast_boundary.REPLICATED_PATHS:
+        assert path in ref.writes, path
+        assert path in fast.writes, path
+
+
+# -------------------------------------------------------------- SIM rules
+def test_sim006_fires_on_mutable_class_default():
+    findings = lint_source(
+        "x.py", "class Cache:\n    table = {}\n"
+    )
+    assert any(f.rule == "SIM006" for f in findings)
+
+
+def test_sim006_exempts_uppercase_constants():
+    findings = lint_source(
+        "x.py", "class Cache:\n    TABLE = {1: 2}\n"
+    )
+    assert not any(f.rule == "SIM006" for f in findings)
+
+
+def test_disable_pragma_suppresses_multiple_rules():
+    source = (
+        "# simlint: disable=SIM001,SIM006\n"
+        "import time\n"
+        "class C:\n"
+        "    cache = {}\n"
+        "    def f(self):\n"
+        "        return time.time()\n"
+    )
+    disabled = file_disabled_rules(source.splitlines())
+    assert disabled == {"SIM001", "SIM006"}
+    findings = lint_source("x.py", source)
+    assert all(
+        f.suppressed for f in findings if f.rule in ("SIM001", "SIM006")
+    )
+
+
+def test_disable_pragma_unknown_rule_raises():
+    with pytest.raises(ValueError):
+        file_disabled_rules(["# simlint: disable=SIM999"])
+    with pytest.raises(ValueError):
+        file_disabled_rules(["# simlint: disable=DRIFT001"])
+
+
+# ---------------------------------------------------------- baseline flow
+def _finding(rule="DRIFT001", subject="path:x"):
+    return HostDiagnostic(rule, "src/x.py", 3, "msg", subject=subject)
+
+
+def test_baseline_round_trip(tmp_path):
+    report = SelfCheckReport(findings=[_finding()])
+    assert not report.ok
+    path = tmp_path / "baseline.json"
+    write_baseline(report, path)
+    pinned = load_baseline(path)
+    assert pinned == {_finding().fingerprint}
+    rerun = SelfCheckReport(findings=[_finding()], baseline=pinned)
+    assert rerun.ok
+    assert rerun.baselined_findings and not rerun.new_findings
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(SelfCheckReport(findings=[_finding()]), path)
+    fresh = _finding(subject="path:y")
+    report = SelfCheckReport(
+        findings=[_finding(), fresh], baseline=load_baseline(path)
+    )
+    assert not report.ok
+    assert report.new_findings == [fresh]
+
+
+def test_missing_baseline_is_empty():
+    assert load_baseline(Path("/nonexistent/baseline.json")) == frozenset()
+
+
+def test_fingerprint_is_line_independent():
+    a = HostDiagnostic("DRIFT001", "f.py", 3, "m", subject="path:x")
+    b = HostDiagnostic("DRIFT001", "f.py", 99, "m2", subject="path:x")
+    assert a.fingerprint == b.fingerprint
+    assert a.rule in HOST_RULES
+
+
+# -------------------------------------------------------------------- CLI
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_selfcheck_clean_exit_zero():
+    proc = run_cli("selfcheck")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "selfcheck:" in proc.stdout
+
+
+def test_cli_selfcheck_json_schema():
+    proc = run_cli("selfcheck", "--json", "-")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    document = json.loads(proc.stdout)
+    assert document["tool"] == "repro-selfcheck"
+    assert document["ok"] is True
+    assert {"total", "new", "baselined", "suppressed"} <= set(
+        document["summary"]
+    )
+
+
+def test_cli_selfcheck_update_baseline_requires_path():
+    proc = run_cli("selfcheck", "--update-baseline")
+    assert proc.returncode == 2

@@ -1,243 +1,48 @@
 #!/usr/bin/env python3
-"""AST lint enforcing the simulator determinism contract.
+"""AST lint enforcing the simulator determinism contract (thin shim).
 
-The cycle-level model must be bit-reproducible across runs and Python
-versions: same inputs, same cycle counts, same stats.  That contract is
-easy to break silently — a wall-clock read, an unseeded RNG, iteration
-order of a ``set``, or an observer call that allocates event objects even
-when tracing is off.  This lint walks the AST of the simulator core
-(``repro/pipeline``, ``repro/core``, ``repro/mem``) and flags:
-
-* **SIM001** — wall-clock reads: ``time.time()``, ``time.monotonic()``,
-  ``time.perf_counter()``, ``datetime.now()``/``utcnow()``/``today()``.
-* **SIM002** — unseeded module-level ``random`` use (``random.random()``,
-  ``from random import randint``, ...).  ``random.Random(seed)`` instances
-  are fine: they are explicitly seeded and owned by the component.
-* **SIM003** — iteration over syntactically unordered sets (``for x in
-  {...}``, comprehensions over ``set(...)``/``frozenset(...)`` or set
-  literals) unless wrapped in ``sorted(...)``.
-* **SIM004** — observer emission not guarded by the precomputed
-  ``tracing`` flag: any ``*.emit(...)`` call must sit under an ``if``
-  whose condition mentions ``tracing`` (idiom: ``if self.obs.tracing:
-  self.obs.emit(...)``), so the zero-observer hot path never builds event
-  tuples.
-* **SIM005** — order-dependent removal: ``dict.popitem()`` and no-argument
-  ``.pop()`` calls.  ``set.pop()`` removes an arbitrary element and
-  ``dict.popitem()`` depends on insertion history; both smuggle container
-  order into simulation results.  Remove by explicit key/index instead.
-  Deterministic stack pops (lists, deques) carry ``# simlint: ignore``
-  with the receiver's type evident at the call site.
-
-Usage::
+The rules now live in :mod:`repro.analysis.host.rules` so they run both
+here and under ``repro selfcheck`` (sharing the diagnostic shape, the
+baseline machinery, and the strict type gate).  This shim keeps the
+historical command-line contract:
 
     python tools/simlint.py src/repro            # scoped to the core dirs
     python tools/simlint.py --all-rules FILE...  # apply rules everywhere
 
-Exit status 1 when any finding is reported.  ``# simlint: ignore`` on the
-offending line suppresses it.
+Exit status 1 when any finding is reported, 0 when clean, 2 when a
+``# simlint: disable=...`` pragma names an unknown rule.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
-#: Path fragments the determinism contract covers (POSIX-style).
-SCOPED_DIRS = ("repro/pipeline", "repro/core", "repro/mem")
+# CI invokes this tool without PYTHONPATH; make the in-tree package
+# importable relative to the repo layout.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-_WALLCLOCK_TIME = {"time", "monotonic", "perf_counter", "process_time"}
-_WALLCLOCK_DT = {"now", "utcnow", "today"}
-_RANDOM_MODULE_OK = {"Random", "SystemRandom"}
+from repro.analysis.host.rules import (  # noqa: E402
+    IGNORE_MARK,
+    SCOPED_DIRS,
+    in_scope,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 
-IGNORE_MARK = "# simlint: ignore"
-
-
-class Finding:
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path: Path, line: int, rule: str, message: str) -> None:
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def _attr_chain(node: ast.AST) -> list[str]:
-    """['self', 'obs', 'emit'] for ``self.obs.emit`` (best effort)."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    parts.reverse()
-    return parts
-
-
-def _mentions_tracing(node: ast.AST) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Attribute) and sub.attr == "tracing":
-            return True
-        if isinstance(sub, ast.Name) and sub.id == "tracing":
-            return True
-    return False
-
-
-def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    return False
-
-
-class _Linter(ast.NodeVisitor):
-    def __init__(self, path: Path, source_lines: list[str]) -> None:
-        self.path = path
-        self.lines = source_lines
-        self.findings: list[Finding] = []
-        # Stack of guard flags: True for any enclosing `if ...tracing...`.
-        self._tracing_guard = 0
-
-    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
-        line = getattr(node, "lineno", 0)
-        if 0 < line <= len(self.lines) and IGNORE_MARK in self.lines[line - 1]:
-            return
-        self.findings.append(Finding(self.path, line, rule, message))
-
-    # ------------------------------------------------------------- SIM004
-    def visit_If(self, node: ast.If) -> None:
-        guarded = _mentions_tracing(node.test)
-        if guarded:
-            self._tracing_guard += 1
-        for child in node.body:
-            self.visit(child)
-        if guarded:
-            self._tracing_guard -= 1
-        for child in node.orelse:
-            self.visit(child)
-
-    # ------------------------------------------------------------ SIM003
-    def visit_For(self, node: ast.For) -> None:
-        if _is_set_expr(node.iter):
-            self._emit(
-                node.iter, "SIM003",
-                "iteration over an unordered set; wrap in sorted(...)",
-            )
-        self.generic_visit(node)
-
-    def _check_comprehensions(
-        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
-    ) -> None:
-        for comp in node.generators:
-            if _is_set_expr(comp.iter):
-                self._emit(
-                    comp.iter, "SIM003",
-                    "comprehension over an unordered set; wrap in sorted(...)",
-                )
-        self.generic_visit(node)
-
-    visit_ListComp = _check_comprehensions
-    visit_SetComp = _check_comprehensions
-    visit_DictComp = _check_comprehensions
-    visit_GeneratorExp = _check_comprehensions
-
-    # ------------------------------------------------- SIM001/002/004 calls
-    def visit_Call(self, node: ast.Call) -> None:
-        chain = _attr_chain(node.func)
-        if len(chain) >= 2:
-            head, tail = chain[0], chain[-1]
-            if head == "time" and tail in _WALLCLOCK_TIME:
-                self._emit(
-                    node, "SIM001",
-                    f"wall-clock read time.{tail}() breaks determinism",
-                )
-            elif head == "datetime" and tail in _WALLCLOCK_DT:
-                self._emit(
-                    node, "SIM001",
-                    f"wall-clock read datetime...{tail}() breaks determinism",
-                )
-            elif head == "random" and tail not in _RANDOM_MODULE_OK:
-                self._emit(
-                    node, "SIM002",
-                    f"module-level random.{tail}() is unseeded; use a "
-                    "random.Random(seed) instance",
-                )
-            if tail == "emit" and self._tracing_guard == 0:
-                self._emit(
-                    node, "SIM004",
-                    f"{'.'.join(chain)}(...) is not guarded by the "
-                    "precomputed tracing flag (idiom: `if self.obs.tracing:`)",
-                )
-        # SIM005: order-dependent removals.  popitem() is always suspect;
-        # a no-argument .pop() is set.pop() unless the receiver is
-        # provably a sequence — which the call site asserts with an
-        # ignore mark, keeping the burden of proof on the code.
-        if isinstance(node.func, ast.Attribute):
-            method = node.func.attr
-            if method == "popitem":
-                self._emit(
-                    node, "SIM005",
-                    "dict.popitem() removal order depends on insertion "
-                    "history; pop an explicit key instead",
-                )
-            elif method == "pop" and not node.args and not node.keywords:
-                self._emit(
-                    node, "SIM005",
-                    "no-argument .pop() removes an arbitrary element if the "
-                    "receiver is a set; pop an explicit index/key, or mark "
-                    "a deterministic stack pop with the ignore comment",
-                )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------- imports
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "random":
-            bad = [
-                alias.name
-                for alias in node.names
-                if alias.name not in _RANDOM_MODULE_OK
-            ]
-            if bad:
-                self._emit(
-                    node, "SIM002",
-                    f"importing unseeded random function(s) {', '.join(bad)}; "
-                    "use a random.Random(seed) instance",
-                )
-        self.generic_visit(node)
-
-
-def in_scope(path: Path) -> bool:
-    """Is *path* inside the directories the contract covers?"""
-    posix = path.resolve().as_posix()
-    return any(fragment in posix for fragment in SCOPED_DIRS)
-
-
-def lint_file(path: Path) -> list[Finding]:
-    """Lint one Python source file; returns its findings."""
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    linter = _Linter(path, source.splitlines())
-    linter.visit(tree)
-    linter.findings.sort(key=lambda f: f.line)
-    return linter.findings
-
-
-def lint_paths(paths: list[Path], all_rules: bool = False) -> list[Finding]:
-    """Lint files/trees; without *all_rules*, only scoped files are checked."""
-    findings: list[Finding] = []
-    for root in paths:
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for file in files:
-            if not all_rules and not in_scope(file):
-                continue
-            findings.extend(lint_file(file))
-    return findings
+__all__ = [
+    "IGNORE_MARK",
+    "SCOPED_DIRS",
+    "in_scope",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -249,9 +54,13 @@ def main(argv: list[str] | None = None) -> int:
         help="apply every rule to every file, ignoring the scope dirs",
     )
     args = parser.parse_args(argv)
-    findings = lint_paths(args.paths, all_rules=args.all_rules)
+    try:
+        findings = lint_paths(args.paths, all_rules=args.all_rules)
+    except ValueError as exc:  # unknown rule id in a disable pragma
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
     for finding in findings:
-        print(finding)
+        print(finding.format())
     if findings:
         print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
