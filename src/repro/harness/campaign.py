@@ -97,6 +97,15 @@ def _canonical(value):
         return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        # Sets iterate in hash order, which varies across processes for
+        # str members (PYTHONHASHSEED); sort the canonical forms so the
+        # cache key is reproducible — suite-expanded jobs cross process
+        # boundaries and must hash identically everywhere.
+        return sorted(
+            (_canonical(item) for item in value),
+            key=lambda item: json.dumps(item, sort_keys=True, default=repr),
+        )
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return repr(value)

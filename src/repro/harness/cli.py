@@ -243,6 +243,14 @@ def _analyze(args) -> int:
     """Static analysis of guest workloads: lint + redundancy oracle."""
     from repro.analysis import lint_program
     from repro.analysis.redundancy import analyze_build, analyze_mp_build
+    from repro.workloads.engine import (
+        WorkloadRegistryError,
+        analyze_engine_build,
+        build_engine_workload,
+        get_workload,
+        is_engine_workload,
+        workload_names,
+    )
     from repro.workloads.generator import build_workload
     from repro.workloads.message_passing import PATTERNS, build_mp_workload
     from repro.workloads.profiles import APP_ORDER, get_profile
@@ -252,13 +260,29 @@ def _analyze(args) -> int:
     )
     suppress = tuple(args.suppress or ())
     thread_counts = args.threads
-    targets = []  # (label, build, is_mp)
+    targets = []  # (label, build, oracle_fn)
     for app in apps:
-        profile = get_profile(app)
+        if is_engine_workload(app):
+            workload = get_workload(app)
+            for threads in thread_counts:
+                if not workload.valid_nctx(threads):
+                    continue
+                targets.append(
+                    (f"{app}/{threads}t",
+                     build_engine_workload(app, threads, scale=args.scale),
+                     analyze_engine_build)
+                )
+            continue
+        try:
+            profile = get_profile(app)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
         for threads in thread_counts:
             targets.append(
                 (f"{app}/{threads}t",
-                 build_workload(profile, threads, scale=args.scale), False)
+                 build_workload(profile, threads, scale=args.scale),
+                 analyze_build)
             )
     if args.all_workloads:
         for pattern in PATTERNS:
@@ -267,18 +291,35 @@ def _analyze(args) -> int:
                     continue
                 targets.append(
                     (f"mp-{pattern}/{threads}t",
-                     build_mp_workload(threads, pattern=pattern), True)
+                     build_mp_workload(threads, pattern=pattern),
+                     analyze_mp_build)
+                )
+        # Registry workloads (the engine-generated families).
+        for name in workload_names():
+            workload = get_workload(name)
+            for threads in thread_counts:
+                if not workload.valid_nctx(threads):
+                    continue
+                try:
+                    build = build_engine_workload(
+                        name, threads, scale=args.scale
+                    )
+                except WorkloadRegistryError as exc:
+                    print(f"error: {exc}")
+                    return 2
+                targets.append(
+                    (f"{name}/{threads}t", build, analyze_engine_build)
                 )
 
     rows = []
     all_diags = []
-    for label, build, is_mp in targets:
+    for label, build, oracle_fn in targets:
         try:
             diags = lint_program(build.program, suppress=suppress)
         except ValueError as exc:  # unknown suppression rule
             print(f"error: {exc}")
             return 2
-        oracle = analyze_mp_build(build) if is_mp else analyze_build(build)
+        oracle = oracle_fn(build)
         row = {
             "workload": label,
             "insts": len(build.program),
@@ -402,18 +443,38 @@ def _campaign(args) -> int:
     from repro.harness.campaign import run_campaign
 
     apps = args.apps or experiment.default_apps()
-    unknown = [name for name in args.configs if name not in CONFIG_FACTORIES]
-    if unknown:
-        known = ", ".join(sorted(CONFIG_FACTORIES))
-        print(f"unknown config(s) {unknown}; choose from: {known}")
-        return 2
-    jobs = [
-        experiment.CampaignJob(app, CONFIG_FACTORIES[name](), threads,
-                               scale=args.scale, engine=args.engine)
-        for app in apps
-        for name in args.configs
-        for threads in args.threads
-    ]
+    if args.suite:
+        from repro.workloads.suites import SuiteError, expand_suite_jobs, load_suite
+
+        # A scenario's own `engine` key wins; an explicit --engine is the
+        # default for scenarios that don't pin one.
+        default_engine = (
+            args.engine if getattr(args, "engine_explicit", False)
+            else "reference"
+        )
+        try:
+            suite = load_suite(args.suite)
+            jobs = expand_suite_jobs(suite, default_engine=default_engine)
+        except SuiteError as exc:
+            print(f"suite error: {exc}")
+            return 2
+        print(f"suite {suite.name!r}: {len(suite.scenarios)} scenario(s) "
+              f"-> {len(jobs)} job(s)")
+    else:
+        unknown = [
+            name for name in args.configs if name not in CONFIG_FACTORIES
+        ]
+        if unknown:
+            known = ", ".join(sorted(CONFIG_FACTORIES))
+            print(f"unknown config(s) {unknown}; choose from: {known}")
+            return 2
+        jobs = [
+            experiment.CampaignJob(app, CONFIG_FACTORIES[name](), threads,
+                                   scale=args.scale, engine=args.engine)
+            for app in apps
+            for name in args.configs
+            for threads in args.threads
+        ]
     if args.inject_hang:
         jobs.append(
             experiment.CampaignJob(apps[0], MMTConfig.base(),
@@ -610,6 +671,42 @@ def _replay(args) -> int:
     return 0
 
 
+def _record(args) -> int:
+    """Record per-thread commit streams from one reference-core run and
+    save them as a replayable trace workload (``trace:PATH``)."""
+    from repro.workloads.record import record_trace
+
+    apps = args.apps or experiment.default_apps()
+    app = apps[0]
+    threads = args.threads[0]
+    if args.config not in CONFIG_FACTORIES:
+        known = ", ".join(sorted(CONFIG_FACTORIES))
+        print(f"unknown config {args.config!r}; choose from: {known}")
+        return 2
+    config = CONFIG_FACTORIES[args.config]()
+    if config.limit_identical:
+        print("cannot record under the Limit study (identical clones "
+              "carry no per-thread structure); pick a real config")
+        return 2
+    out = args.out or f"{app}-{config.name}-{threads}t.trace.json"
+    trace = record_trace(
+        app, config, threads, scale=args.scale, window=args.window
+    )
+    path = trace.save(out)
+    lengths = ", ".join(str(len(s)) for s in trace.tokens)
+    print(f"recorded {app}/{config.name}/{threads}t (scale {args.scale}): "
+          f"{trace.window_count} distinct {trace.window}-PC windows, "
+          f"tokens per context: {lengths}")
+    print(f"trace written to {path}")
+    print(f"digest: {trace.digest()}")
+    print(f"replay it with workload name 'trace:{path}' — e.g.\n"
+          f"  [[scenario]]\n"
+          f"  workload = \"trace:{path}\"\n"
+          f"  threads = [{threads}]\n"
+          f"in a scenario suite, or via repro analyze --apps trace:{path}")
+    return 0
+
+
 TARGETS = {
     "fig1": (_fig1, "instruction-sharing breakdown"),
     "fig2": (_fig2, "divergent-path-length histogram"),
@@ -654,13 +751,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(TARGETS)
-        + ["analyze", "list", "campaign", "trace", "profile", "replay",
-           "selfcheck"],
+        + ["analyze", "list", "campaign", "trace", "profile", "record",
+           "replay", "selfcheck"],
         help="which table/figure to regenerate ('list' to enumerate; "
         "'campaign' runs a parallel batch sweep; 'trace' runs one point "
         "with event tracing and interval metrics; 'profile' runs one "
-        "point under the host self-profiler; 'replay' re-runs a flight "
-        "dump under the oracle gate; 'analyze' statically lints "
+        "point under the host self-profiler; 'record' captures per-thread "
+        "commit streams into a replayable trace workload; 'replay' re-runs "
+        "a flight dump under the oracle gate; 'analyze' statically lints "
         "workloads and reports redundancy-oracle bounds; 'selfcheck' "
         "runs the host self-analysis: fast/reference drift check + "
         "determinism lint over the simulator's own source)",
@@ -774,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write campaign metrics in Prometheus text exposition "
         "format to PATH",
     )
+    campaign.add_argument(
+        "--suite",
+        metavar="PATH",
+        default=None,
+        help="run the scenario suite declared in PATH (scenarios/*.toml) "
+        "instead of the --apps/--configs/--threads cross product; "
+        "scenario 'engine' keys win over --engine",
+    )
     analyze = parser.add_argument_group("analyze target")
     analyze.add_argument(
         "--all-workloads",
@@ -840,6 +946,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder dump to replay (written to --dump-dir by a "
         "failed campaign job)",
     )
+    record = parser.add_argument_group("record target")
+    record.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="where to write the recorded trace (default "
+        "<app>-<config>-<threads>t.trace.json)",
+    )
+    record.add_argument(
+        "--window",
+        type=int,
+        default=32,
+        help="committed-PC window length per trace token (default 32)",
+    )
     return parser
 
 
@@ -847,7 +967,9 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     # The self-profiler exists to explain fast-loop wall-clock, so
     # `profile` defaults to the fast engine; everything else stays on
-    # the reference core unless asked.
+    # the reference core unless asked.  Suite expansion needs to know
+    # whether --engine was the user's choice or this default.
+    args.engine_explicit = args.engine is not None
     if args.engine is None:
         args.engine = "fast" if args.target == "profile" else "reference"
     experiment.set_default_engine(args.engine)
@@ -861,6 +983,8 @@ def main(argv=None) -> int:
               "metrics, Perfetto export")
         print(f"{'profile'.ljust(width)}  host self-profile: wall-clock by "
               "rare-path region")
+        print(f"{'record'.ljust(width)}  record per-thread commit streams "
+              "into a replayable trace workload")
         print(f"{'replay'.ljust(width)}  re-run a flight dump under the "
               "oracle gate")
         print(f"{'analyze'.ljust(width)}  static workload lint + redundancy "
@@ -874,6 +998,8 @@ def main(argv=None) -> int:
         return _trace(args)
     if args.target == "profile":
         return _profile(args)
+    if args.target == "record":
+        return _record(args)
     if args.target == "replay":
         return _replay(args)
     if args.target == "analyze":

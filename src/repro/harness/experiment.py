@@ -41,6 +41,11 @@ from repro.pipeline.fast import resolve_engine
 from repro.pipeline.stats import SimStats
 from repro.power.model import energy_of_run
 from repro.power.params import EnergyBreakdown, EnergyParams
+from repro.workloads.engine import (
+    EngineBuild,
+    build_engine_workload,
+    is_engine_workload,
+)
 from repro.workloads.generator import WorkloadBuild, build_workload
 from repro.workloads.profiles import APP_ORDER, get_profile
 
@@ -97,6 +102,11 @@ class CampaignJob:
     strict: bool = True
     tag: str = ""
     engine: str = "reference"
+    #: Workload-generation seed (``None`` = the workload's default).
+    #: Paper profiles ignore it today; registry/engine workloads fold it
+    #: into their phase schedules and request streams, so it is part of
+    #: both the memo key and the on-disk cache key.
+    seed: int | None = None
 
     def label(self) -> str:
         return f"{self.app}/{self.config.name}/{self.threads}t" + (
@@ -107,7 +117,7 @@ class CampaignJob:
         """The in-memory memo key :func:`run_app` would use."""
         machine = _normalize_machine(self.machine, self.threads)
         return (self.app, self.config, self.threads, machine, self.scale,
-                self.strict, self.engine)
+                self.strict, self.engine, self.seed)
 
 
 _CACHE: dict[tuple, RunResult] = {}
@@ -151,6 +161,25 @@ def _normalize_machine(
     return machine
 
 
+def build_point(
+    app: str, threads: int, scale: float = 1.0, seed: int | None = None
+) -> WorkloadBuild | EngineBuild:
+    """Build the workload for one simulation point, whatever its origin.
+
+    *app* is either a paper application profile (``fft``, ``ocean``, …)
+    or a registry workload name — an engine-generated workload
+    (``dyn-bursty``, ``reqstream-uniform``), a recorded-trace reference
+    (``trace:PATH``), or anything registered via
+    :func:`repro.workloads.engine.register_workload`.  Every harness path
+    that turns a name into a program (simulation, lint gate, oracle,
+    figures) resolves through here, so registry workloads are first-class
+    campaign citizens.
+    """
+    if is_engine_workload(app):
+        return build_engine_workload(app, threads, scale=scale, seed=seed)
+    return build_workload(get_profile(app), threads, scale=scale, seed=seed)
+
+
 def _simulate(
     app: str,
     config: MMTConfig,
@@ -162,6 +191,7 @@ def _simulate(
     failure_dump: str | None = None,
     prepare=None,
     engine: str | None = None,
+    seed: int | None = None,
 ) -> RunResult:
     """Run one simulation point (no caching at this level).
 
@@ -172,7 +202,7 @@ def _simulate(
     given, is called with the constructed core before it runs (fault
     injection for tests and demos).
     """
-    build = build_workload(get_profile(app), threads, scale=scale)
+    build = build_point(app, threads, scale=scale, seed=seed)
     job = build.limit_job() if config.limit_identical else build.job()
     core_cls = resolve_engine(engine or _DEFAULT_ENGINE)
     core = core_cls(machine, config, job, strict=strict, obs=obs)
@@ -200,6 +230,7 @@ def _simulate(
                 "scale": scale,
                 "strict": strict,
                 "engine": engine or _DEFAULT_ENGINE,
+                "seed": seed,
             }
             try:
                 write_dump(document, failure_dump)
@@ -227,15 +258,16 @@ def run_app(
     strict: bool = True,
     use_cache: bool = True,
     engine: str | None = None,
+    seed: int | None = None,
 ) -> RunResult:
     """Simulate *app* under *config* with *threads* hardware contexts."""
     machine = _normalize_machine(machine, threads)
     engine = engine or _DEFAULT_ENGINE
-    key = (app, config, threads, machine, scale, strict, engine)
+    key = (app, config, threads, machine, scale, strict, engine, seed)
     if use_cache and key in _CACHE:
         return _CACHE[key]
     result = _simulate(app, config, threads, machine, scale, strict,
-                       engine=engine)
+                       engine=engine, seed=seed)
     if use_cache:
         _CACHE[key] = result
     return result
@@ -256,7 +288,7 @@ def simulate_job(job: CampaignJob, seed: int) -> RunResult:
     obs = campaign_observer() if dump_path else None
     return _simulate(
         job.app, job.config, job.threads, machine, job.scale, job.strict,
-        obs=obs, failure_dump=dump_path, engine=job.engine,
+        obs=obs, failure_dump=dump_path, engine=job.engine, seed=job.seed,
     )
 
 
@@ -283,6 +315,7 @@ def simulate_job_faulty(job: CampaignJob, seed: int) -> RunResult:
     return _simulate(
         job.app, job.config, job.threads, machine, job.scale, job.strict,
         obs=obs, failure_dump=dump_path, prepare=prepare, engine=job.engine,
+        seed=job.seed,
     )
 
 
@@ -296,6 +329,7 @@ def trace_run(
     sink_capacity: int | None = None,
     strict: bool = True,
     engine: str | None = None,
+    seed: int | None = None,
 ) -> tuple[RunResult, Observer]:
     """Run one point with full observability attached (``repro trace``).
 
@@ -311,7 +345,7 @@ def trace_run(
         watchdog_cycles=DEFAULT_WATCHDOG_CYCLES,
     )
     result = _simulate(app, config, threads, machine, scale, strict, obs=obs,
-                       engine=engine)
+                       engine=engine, seed=seed)
     return result, obs
 
 
@@ -324,6 +358,7 @@ def profile_run(
     strict: bool = True,
     engine: str | None = None,
     record_slices: bool = False,
+    seed: int | None = None,
 ):
     """Run one point under the host self-profiler (``repro profile``).
 
@@ -335,7 +370,7 @@ def profile_run(
     from repro.obs.prof import HostProfiler
 
     machine = _normalize_machine(machine, threads)
-    build = build_workload(get_profile(app), threads, scale=scale)
+    build = build_point(app, threads, scale=scale, seed=seed)
     job = build.limit_job() if config.limit_identical else build.job()
     core_cls = resolve_engine(engine or _DEFAULT_ENGINE)
     core = core_cls(machine, config, job, strict=strict)
@@ -397,6 +432,7 @@ def replay_dump(
         raise ValueError(
             f"flight dump {path} names unknown config {spec.get('config')!r}"
         )
+    seed = spec.get("seed")
     run, obs = trace_run(
         spec["app"],
         factory(),
@@ -405,6 +441,7 @@ def replay_dump(
         strict=bool(spec.get("strict", True)),
         engine=spec.get("engine"),
         interval=interval,
+        seed=None if seed is None else int(seed),
     )
     problems: list[str] = []
     if validate:
@@ -466,16 +503,20 @@ def oracle_for_run(run: RunResult):
     limit analysis.
     """
     from repro.analysis.redundancy import analyze_build, analyze_limit_build
+    from repro.workloads.engine import analyze_engine_build
 
     limit = run.config.limit_identical
     key = (run.build.program.digest(), run.build.nctx, limit)
     report = _ORACLE_MEMO.get(key)
     if report is None:
-        report = (
-            analyze_limit_build(run.build)
-            if limit
-            else analyze_build(run.build)
-        )
+        if isinstance(run.build, EngineBuild):
+            report = analyze_engine_build(run.build, limit=limit)
+        else:
+            report = (
+                analyze_limit_build(run.build)
+                if limit
+                else analyze_build(run.build)
+            )
         _ORACLE_MEMO[key] = report
     return report
 
@@ -542,7 +583,8 @@ class WorkloadLintError(RuntimeError):
 def lint_campaign_jobs(jobs, cache_dir=None, progress=None) -> int:
     """Statically lint every distinct workload a campaign will run.
 
-    Each distinct ``(app, threads, scale)`` triple is built once and its
+    Each distinct ``(app, threads, scale, seed)`` tuple is built once
+    (registry workloads included, via :func:`build_point`) and its
     program linted; a clean verdict is content-addressed on
     :meth:`~repro.isa.program.Program.digest` under ``<cache>/lint/`` so
     repeat campaigns skip the analysis entirely.  Any diagnostic aborts
@@ -560,16 +602,17 @@ def lint_campaign_jobs(jobs, cache_dir=None, progress=None) -> int:
         else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
     ) / "lint"
     emit = progress if callable(progress) else (lambda line: None)
-    seen: set[tuple[str, int, float]] = set()
+    seen: set[tuple[str, int, float, int | None]] = set()
     fresh = 0
     for job in jobs:
         if not isinstance(job, CampaignJob):
             continue
-        key = (job.app, job.threads, job.scale)
+        key = (job.app, job.threads, job.scale, job.seed)
         if key in seen:
             continue
         seen.add(key)
-        build = build_workload(get_profile(job.app), job.threads, scale=job.scale)
+        build = build_point(job.app, job.threads, scale=job.scale,
+                            seed=job.seed)
         marker = root / f"{build.program.digest()}.ok"
         if marker.exists():
             emit(f"lint {build.program.name}: cached ok")

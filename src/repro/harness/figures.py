@@ -26,7 +26,6 @@ from repro.power.budget import hardware_budget
 from repro.profiling.divergence import divergence_histogram
 from repro.profiling.sharing import analyze_job
 from repro.profiling.tracing import capture_job_traces
-from repro.workloads.generator import build_workload
 from repro.workloads.profiles import get_profile
 
 #: Thread count used for the motivation study (the paper profiles pairs).
@@ -52,10 +51,20 @@ _SHARING_ROWS: dict[tuple[str, float], dict] = {}
 
 
 def sharing_row(point: SharingPoint, seed: int = 0) -> dict:
-    """Campaign runner for one Figure 1 row (functional trace profiling)."""
+    """Campaign runner for one Figure 1 row (functional trace profiling).
+
+    Registry workloads (engine-generated or ``trace:PATH`` replays) are
+    accepted alongside paper apps; they have no paper reference columns,
+    so those report as None.
+    """
     del seed  # trace capture is deterministic per application
-    profile = get_profile(point.app)
-    build = build_workload(profile, PROFILE_CONTEXTS, scale=point.scale)
+    from repro.harness.experiment import build_point
+
+    try:
+        profile = get_profile(point.app)
+    except KeyError:
+        profile = None  # registry workload: no paper reference numbers
+    build = build_point(point.app, PROFILE_CONTEXTS, scale=point.scale)
     traces = capture_job_traces(build.job())
     sharing = analyze_job(traces)
     exec_frac = sharing.execute_identical_fraction
@@ -65,8 +74,8 @@ def sharing_row(point: SharingPoint, seed: int = 0) -> dict:
         "execute_identical": exec_frac,
         "fetch_identical_only": max(0.0, fetch_frac - exec_frac),
         "not_identical": max(0.0, 1.0 - fetch_frac),
-        "paper_execute_identical": profile.fig1_exec,
-        "paper_fetch_identical": profile.fig1_fetch,
+        "paper_execute_identical": profile.fig1_exec if profile else None,
+        "paper_fetch_identical": profile.fig1_fetch if profile else None,
         "_gaps": sharing.gaps,
     }
 

@@ -39,6 +39,13 @@ def pytest_addoption(parser):
         default=False,
         help="run tests marked 'bench' (wall-clock regression gates)",
     )
+    parser.addoption(
+        "--run-scenario",
+        action="store_true",
+        default=False,
+        help="run tests marked 'scenario' (full cross-engine scenario "
+        "sweep over the workload registry and suite files)",
+    )
 
 
 def _enabled(config, marker: str, flag: str) -> bool:
@@ -49,10 +56,16 @@ def _enabled(config, marker: str, flag: str) -> bool:
 def pytest_collection_modifyitems(config, items):
     skip_slow = pytest.mark.skip(reason="tier 2: pass --run-slow")
     skip_bench = pytest.mark.skip(reason="bench gate: pass --run-bench")
+    skip_scenario = pytest.mark.skip(
+        reason="scenario sweep: pass --run-scenario"
+    )
     slow_on = _enabled(config, "slow", "--run-slow")
     bench_on = _enabled(config, "bench", "--run-bench")
+    scenario_on = _enabled(config, "scenario", "--run-scenario")
     for item in items:
         if not slow_on and "slow" in item.keywords:
             item.add_marker(skip_slow)
         if not bench_on and "bench" in item.keywords:
             item.add_marker(skip_bench)
+        if not scenario_on and "scenario" in item.keywords:
+            item.add_marker(skip_scenario)

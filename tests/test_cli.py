@@ -167,3 +167,127 @@ def test_campaign_metrics_flag(capsys, tmp_path, monkeypatch):
     assert 'status="ok"' in text
     out = capsys.readouterr().out
     assert "Prometheus metrics written" in out
+
+
+# ------------------------------------------------------- record + suites
+def test_record_target_roundtrip(capsys, tmp_path):
+    """repro record writes a trace that resolves as a trace: workload."""
+    out_path = tmp_path / "rec.trace.json"
+    assert main(["record", "--apps", "mcf", "--config", "Base",
+                 "--threads", "2", "--scale", "0.05", "--window", "16",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "digest:" in out
+    assert f"trace:{out_path}" in out
+    assert out_path.exists()
+
+    from repro.workloads.engine import get_workload
+    from repro.workloads.record import RecordedTrace
+
+    trace = RecordedTrace.load(out_path)
+    assert trace.digest() in out
+    workload = get_workload(f"trace:{out_path}")
+    build = workload.build(2)
+    assert build.nctx == 2
+
+
+def test_record_rejects_unknown_config(capsys):
+    assert main(["record", "--apps", "mcf", "--config", "Nope"]) == 2
+    assert "unknown config" in capsys.readouterr().out
+
+
+def test_record_rejects_limit_config(capsys):
+    assert main(["record", "--apps", "mcf", "--config", "Limit"]) == 2
+    assert "Limit" in capsys.readouterr().out
+
+
+def test_campaign_suite_smoke(capsys, tmp_path, monkeypatch):
+    """campaign --suite expands and runs a scenario suite end-to-end."""
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "clitest3")
+    import repro.harness.campaign as campaign_mod
+
+    monkeypatch.setattr(campaign_mod, "_FINGERPRINT", None)
+    suite = tmp_path / "mini.toml"
+    suite.write_text(
+        "[suite]\nname = 'mini'\n"
+        "[[scenario]]\nworkload = 'dyn-bursty'\n"
+        "configs = ['Base']\nthreads = [2]\nscale = 0.25\nseed = 4\n"
+    )
+    assert main(["campaign", "--suite", str(suite), "--workers", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--dump-dir", ""]) == 0
+    out = capsys.readouterr().out
+    assert "suite 'mini': 1 scenario(s) -> 1 job(s)" in out
+    assert "dyn-bursty" in out
+
+
+def test_campaign_suite_malformed_is_exit_2(capsys, tmp_path):
+    suite = tmp_path / "broken.toml"
+    suite.write_text("this is [not toml\n")
+    assert main(["campaign", "--suite", str(suite)]) == 2
+    out = capsys.readouterr().out
+    assert "suite error" in out
+    assert "not valid TOML" in out
+    assert "Traceback" not in out
+
+
+def test_campaign_suite_missing_file_is_exit_2(capsys, tmp_path):
+    assert main(["campaign", "--suite", str(tmp_path / "gone.toml")]) == 2
+    assert "suite error" in capsys.readouterr().out
+
+
+def test_campaign_suite_engine_interaction(tmp_path, monkeypatch):
+    """Scenario `engine` keys win; explicit --engine is the default for
+    scenarios without one; implicit default stays 'reference'."""
+    import repro.harness.cli as cli_mod
+
+    suite = tmp_path / "mix.toml"
+    suite.write_text(
+        "[[scenario]]\nworkload = 'dyn-bursty'\nengine = 'reference'\n"
+        "[[scenario]]\nworkload = 'dyn-decohere'\n"
+    )
+    captured = {}
+
+    def fake_run_campaign(jobs, runner, **kwargs):
+        captured["jobs"] = list(jobs)
+        raise SystemExit(0)  # stop before simulating anything
+
+    monkeypatch.setattr(
+        "repro.harness.campaign.run_campaign", fake_run_campaign
+    )
+    monkeypatch.setattr(
+        cli_mod.experiment, "lint_campaign_jobs",
+        lambda jobs, **kwargs: 0,
+    )
+
+    with pytest.raises(SystemExit):
+        main(["campaign", "--suite", str(suite), "--engine", "fast"])
+    engines = [job.engine for job in captured["jobs"]]
+    assert engines == ["reference", "fast"]  # pinned wins, rest default
+
+    with pytest.raises(SystemExit):
+        main(["campaign", "--suite", str(suite)])
+    engines = [job.engine for job in captured["jobs"]]
+    assert engines == ["reference", "reference"]
+
+
+def test_analyze_accepts_registry_and_trace_workloads(capsys, tmp_path):
+    out_path = tmp_path / "t.trace.json"
+    assert main(["record", "--apps", "mcf", "--config", "Base",
+                 "--threads", "2", "--scale", "0.05",
+                 "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--apps", "dyn-bursty", f"trace:{out_path}",
+                 "--threads", "2", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "dyn-bursty/2t" in out
+    assert "all workloads lint clean" in out
+
+
+def test_analyze_all_workloads_includes_registry(capsys):
+    assert main(["analyze", "--all-workloads", "--threads", "2",
+                 "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "dyn-bursty/2t" in out
+    assert "reqstream-uniform/2t" in out
+    assert "mp-ring/2t" in out  # the pre-existing patterns survive

@@ -1,0 +1,147 @@
+"""Unit tests for the engine-workload layer (repro.workloads.engine)."""
+
+import random
+
+import pytest
+
+from repro.core.config import WorkloadType
+from repro.workloads.engine import (
+    BUILTIN_WORKLOADS,
+    Phase,
+    PhaseScheduleEngine,
+    DynamicWorkload,
+    RequestStreamEngine,
+    RequestStreamWorkload,
+    WorkloadRegistryError,
+    build_engine_workload,
+    get_workload,
+    is_engine_workload,
+    register_workload,
+    workload_names,
+    _dynamic_profile,
+)
+
+
+# ------------------------------------------------------------------ registry
+def test_builtins_are_registered():
+    names = workload_names()
+    for workload in BUILTIN_WORKLOADS:
+        assert workload.name in names
+        assert is_engine_workload(workload.name)
+        assert get_workload(workload.name) is workload
+
+
+def test_duplicate_registration_is_an_error():
+    existing = BUILTIN_WORKLOADS[0].name
+    clone = DynamicWorkload(
+        existing, (Phase("lockstep"),), _dynamic_profile(existing)
+    )
+    with pytest.raises(WorkloadRegistryError) as excinfo:
+        register_workload(clone)
+    assert "already registered" in str(excinfo.value)
+    # replace=True shadows deliberately; restore the original afterwards.
+    original = get_workload(existing)
+    try:
+        assert register_workload(clone, replace=True) is clone
+        assert get_workload(existing) is clone
+    finally:
+        register_workload(original, replace=True)
+
+
+def test_trace_prefix_is_reserved():
+    workload = DynamicWorkload(
+        "trace:sneaky", (Phase("lockstep"),), _dynamic_profile("sneaky")
+    )
+    with pytest.raises(WorkloadRegistryError):
+        register_workload(workload)
+
+
+def test_unknown_name_reports_known_workloads():
+    with pytest.raises(WorkloadRegistryError) as excinfo:
+        get_workload("no-such-workload")
+    message = str(excinfo.value)
+    assert "no-such-workload" in message
+    assert BUILTIN_WORKLOADS[0].name in message
+
+
+def test_missing_trace_file_is_a_registry_error():
+    with pytest.raises(WorkloadRegistryError):
+        get_workload("trace:/nonexistent/path.trace.json")
+
+
+def test_build_validates_nctx():
+    with pytest.raises(WorkloadRegistryError):
+        build_engine_workload("reqstream-uniform", 1)
+
+
+# ------------------------------------------------------------ phase schedule
+def test_phase_schedule_modes_shape_divergence():
+    rng = random.Random(0)
+    engine = PhaseScheduleEngine((Phase("lockstep"), Phase("independent")))
+    reqs = engine.requests(4, 40, rng)
+    assert len(reqs) == 40
+    first, second = reqs[:20], reqs[20:]
+    # Lockstep phase emits zero divergence probability, independent not.
+    assert all(req.value == 0 for req in first)
+    assert any(req.value > 0 for req in second)
+
+
+def test_bursty_phase_pulses():
+    rng = random.Random(0)
+    engine = PhaseScheduleEngine((Phase("bursty"),))
+    values = [req.value for req in engine.requests(4, 36, rng)]
+    assert max(values) > 10 * max(1, min(values))  # bursts tower over floor
+
+
+def test_decohere_phase_ramps():
+    rng = random.Random(0)
+    engine = PhaseScheduleEngine((Phase("decohere"),))
+    values = [req.value for req in engine.requests(4, 30, rng)]
+    assert values[0] < values[-1]
+    assert values == sorted(values)
+
+
+# ----------------------------------------------------------- request streams
+def test_request_stream_patterns_differ():
+    rng_a, rng_b = random.Random(1), random.Random(1)
+    uniform = RequestStreamEngine("uniform").requests(4, 64, rng_a)
+    skewed = RequestStreamEngine("skewed").requests(4, 64, rng_b)
+    assert len(uniform) == len(skewed) == 64
+    assert [r.value for r in uniform] != [r.value for r in skewed]
+    # The skew clears specific low bits with high probability.
+    cleared = sum(1 for r in skewed if (r.value & 0x6) == 0)
+    assert cleared > len(skewed) // 2
+
+
+def test_request_stream_workload_rejects_bad_pattern():
+    with pytest.raises(ValueError):
+        RequestStreamWorkload("bad", pattern="zipf-ish")
+
+
+def test_mp_workload_refuses_limit_clone():
+    build = build_engine_workload("reqstream-uniform", 3, scale=0.5)
+    with pytest.raises(ValueError):
+        build.limit_job()
+
+
+# ------------------------------------------------------------- determinism
+def test_builds_are_deterministic_per_seed():
+    for name in workload_names():
+        workload = get_workload(name)
+        nctx = 4 if workload.valid_nctx(4) else 2
+        one = workload.build(nctx, scale=0.25, seed=9)
+        two = workload.build(nctx, scale=0.25, seed=9)
+        other = workload.build(nctx, scale=0.25, seed=10)
+        assert one.program.digest() == two.program.digest(), name
+        assert one.program.digest() != other.program.digest(), (
+            f"{name}: seed does not influence the generated program"
+        )
+
+
+def test_wtypes_are_declared():
+    for name in workload_names():
+        assert get_workload(name).wtype in (
+            WorkloadType.MULTI_THREADED,
+            WorkloadType.MULTI_EXECUTION,
+            WorkloadType.MESSAGE_PASSING,
+        )

@@ -100,6 +100,7 @@ def assert_cycle_exact(build, config, nctx, label):
             f"fast={trace[first] if first < len(trace) else '<end>'} "
             f"ref={want[first] if first < len(want) else '<end>'}"
         )
+    return ref.stats
 
 
 def test_fast_engine_fuzz_cycle_exact(fuzz_index):

@@ -123,3 +123,87 @@ def test_fp_values_never_reach_nan_or_inf():
                 value = state.regs[reg]
                 if isinstance(value, float):
                     assert math.isfinite(value), f"{app} f{reg - 32} = {value}"
+
+
+# -------------------------------------------------- engine determinism
+def _digest_script(suite_path: str) -> str:
+    """Python -c script printing program digests + cache keys for every
+    job a suite expands to (runs in a clean child process)."""
+    return (
+        "import sys\n"
+        "from repro.workloads.suites import load_suite, expand_suite_jobs\n"
+        "from repro.harness.experiment import build_point, simulate_job\n"
+        "from repro.harness.campaign import job_key\n"
+        f"suite = load_suite({suite_path!r})\n"
+        "for job in expand_suite_jobs(suite, default_engine='fast'):\n"
+        "    build = build_point(job.app, job.threads, scale=job.scale,\n"
+        "                        seed=job.seed)\n"
+        "    print(job.label(), build.program.digest(),\n"
+        "          job_key(job, simulate_job))\n"
+    )
+
+
+def _run_child(script: str, hash_seed: str) -> str:
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed  # force distinct str-hash orders
+    env["PYTHONPATH"] = "src"
+    env["REPRO_CODE_FINGERPRINT"] = "invariants-test"
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, cwd=os.getcwd(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_suite_expansion_is_deterministic_across_processes(tmp_path):
+    """Same (suite, seed) => byte-identical Program digests and identical
+    campaign cache keys, even under different interpreter hash seeds."""
+    suite = tmp_path / "det.toml"
+    suite.write_text(
+        "[suite]\nname = 'det'\n"
+        "[[scenario]]\nworkload = 'dyn-bursty'\n"
+        "configs = ['Base', 'MMT-FXR']\nthreads = [2, 4]\n"
+        "scale = 0.25\nseed = 21\n"
+        "[[scenario]]\nworkload = 'reqstream-skewed'\n"
+        "configs = ['MMT-FXR']\nthreads = [3]\nseed = 21\n"
+    )
+    script = _digest_script(str(suite))
+    first = _run_child(script, "1")
+    second = _run_child(script, "424242")
+    assert first == second
+    assert len(first.splitlines()) == 5  # 2x2 + 1 jobs
+
+
+def test_engine_seed_changes_digest_but_not_structure():
+    from repro.workloads.engine import build_engine_workload
+
+    a = build_engine_workload("dyn-bursty", 2, scale=0.25, seed=1)
+    b = build_engine_workload("dyn-bursty", 2, scale=0.25, seed=2)
+    assert a.program.digest() != b.program.digest()
+    # Structure is seed-independent: same instruction count and symbols.
+    assert len(a.program.instructions) == len(b.program.instructions)
+    assert set(a.program.symbols) == set(b.program.symbols)
+
+
+def test_campaign_job_cache_key_covers_seed():
+    from repro.core.config import MMTConfig
+    from repro.harness.campaign import job_key
+    from repro.harness.experiment import CampaignJob
+
+    base = CampaignJob("dyn-bursty", MMTConfig.base(), 2, scale=0.25)
+    seeded = CampaignJob("dyn-bursty", MMTConfig.base(), 2, scale=0.25,
+                         seed=7)
+    assert job_key(base) != job_key(seeded)
+    assert base.memo_key() != seeded.memo_key()
+
+
+def test_canonical_sets_hash_identically_regardless_of_order():
+    from repro.harness.campaign import _canonical
+
+    assert _canonical({"b", "a", "c"}) == ["a", "b", "c"]
+    assert _canonical(frozenset({3, 1, 2})) == [1, 2, 3]
