@@ -40,6 +40,7 @@ class Program:
         self.symbols: dict[str, int] = dict(symbols or {})
         self.entry = entry
         self.name = name
+        self._digest: str | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -76,7 +77,15 @@ class Program:
         Two programs with the same digest are behaviourally identical, so
         per-program artefacts (lint verdicts, analysis reports) can be
         content-addressed on it, independent of the program *name*.
+
+        The hash is computed once and cached: every consumer that keys on
+        it (lint gate, oracle memo, specialization manifests, campaign
+        cache) treats the image as immutable once built, so mutating a
+        program after its first ``digest()`` call is already a
+        content-addressing violation.
         """
+        if self._digest is not None:
+            return self._digest
         h = hashlib.sha256()
         for inst in self.instructions:
             h.update(
@@ -86,7 +95,8 @@ class Program:
             )
         h.update(repr(sorted(self.data.items())).encode())
         h.update(repr(self.entry).encode())
-        return h.hexdigest()
+        self._digest = h.hexdigest()
+        return self._digest
 
     def with_data(self, extra: Mapping[int, int | float]) -> "Program":
         """Return a copy of this program with *extra* merged into the data image.

@@ -291,3 +291,98 @@ def test_analyze_all_workloads_includes_registry(capsys):
     assert "dyn-bursty/2t" in out
     assert "reqstream-uniform/2t" in out
     assert "mp-ring/2t" in out  # the pre-existing patterns survive
+
+
+# ----------------------------------------------- engine + specialization
+def test_unknown_engine_is_exit_2_with_registry_listing(capsys):
+    """--engine routes through resolve_engine; its error must surface the
+    known engine names instead of an argparse usage dump."""
+    assert main(["fig5a", "--engine", "warp9"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown engine 'warp9'" in out
+    assert "'fast'" in out and "'reference'" in out
+
+
+def test_analyze_specialize_single_workload_per_pc_table(capsys):
+    assert main(["analyze", "--specialize", "--apps", "ammp",
+                 "--threads", "2", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "Specialization" in out
+    assert "Per-PC verdicts — ammp/2t" in out
+    assert "store_commit" in out
+    assert "plain_run" in out
+
+
+def test_analyze_specialize_json_reports_per_pc_verdicts(capsys):
+    import json
+
+    assert main(["analyze", "--specialize", "--apps", "ammp", "mcf",
+                 "--threads", "2", "--scale", "0.1", "--json", "-"]) == 0
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    spec = document["specialization"]
+    assert [e["workload"] for e in spec] == ["ammp/2t", "mcf/2t"]
+    for entry in spec:
+        manifest = entry["manifest"]
+        assert manifest["kind"] == "specialization-manifest"
+        assert len(manifest["verdicts"]) == manifest["num_pcs"] > 0
+        assert manifest["rare_paths"] == [
+            "control", "hint", "sync", "lvip_verify", "store_commit",
+            "trap",
+        ]
+
+
+def test_analyze_without_specialize_flag_has_no_section(capsys):
+    assert main(["analyze", "--apps", "ammp", "--threads", "2",
+                 "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "Per-PC verdicts" not in out
+    assert "Specialization —" not in out
+
+
+def test_specialize_flag_sets_experiment_default():
+    from repro.harness import experiment
+
+    try:
+        assert main(["analyze", "--apps", "ammp", "--threads", "2",
+                     "--scale", "0.1", "--no-specialize"]) == 0
+        assert experiment.default_specialize() is False
+        assert main(["analyze", "--apps", "ammp", "--threads", "2",
+                     "--scale", "0.1"]) == 0
+        assert experiment.default_specialize() is True
+    finally:
+        experiment.set_default_specialize(True)
+
+
+def test_campaign_jobs_carry_specialize_flag(tmp_path, monkeypatch):
+    import repro.harness.cli as cli_mod
+
+    captured = {}
+
+    def fake_run_campaign(jobs, runner, **kwargs):
+        captured["jobs"] = list(jobs)
+        raise SystemExit(0)
+
+    monkeypatch.setattr(
+        "repro.harness.campaign.run_campaign", fake_run_campaign
+    )
+    monkeypatch.setattr(
+        cli_mod.experiment, "lint_campaign_jobs", lambda jobs, **kwargs: 0
+    )
+
+    with pytest.raises(SystemExit):
+        main(["campaign", "--apps", "ammp", "--configs", "Base",
+              "--no-specialize"])
+    assert [job.specialize for job in captured["jobs"]] == [False]
+
+    with pytest.raises(SystemExit):
+        main(["campaign", "--apps", "ammp", "--configs", "Base"])
+    assert [job.specialize for job in captured["jobs"]] == [True]
+
+    suite = tmp_path / "mini.toml"
+    suite.write_text(
+        "[[scenario]]\nworkload = 'dyn-bursty'\n"
+    )
+    with pytest.raises(SystemExit):
+        main(["campaign", "--suite", str(suite), "--no-specialize"])
+    assert [job.specialize for job in captured["jobs"]] == [False]

@@ -125,6 +125,46 @@ def test_fast_engine_deep_sweep_remaining_configs(fuzz_index):
         assert_cycle_exact(build, config, nctx, f"{app}-{nctx}t-s{seed}/{label}")
 
 
+def test_fast_engine_paranoid_fuzz(fuzz_index, monkeypatch):
+    """Paranoid mode re-validates every guard the manifests strip: each
+    skipped check is re-executed and a statically-impossible rare path
+    that fires raises :class:`SpecializationViolation`.  Completing
+    cycle-exact is the zero-violations proof; the counter check makes
+    sure the assertions actually ran instead of being compiled away.
+
+    Nightly CI runs this (and the whole differential suite) with
+    ``--runs=200`` under ``REPRO_SPECIALIZE_PARANOID=1``.
+    """
+    monkeypatch.setenv("REPRO_SPECIALIZE_PARANOID", "1")
+    app, nctx, seed = fuzz_case(fuzz_index)
+    build = build_workload(get_profile(app), nctx, scale=SCALE, seed=seed)
+    config = MMTConfig.mmt_fxr()
+    ref, _ = run_pipeline(build, config, nctx)
+    fast, _ = run_pipeline(build, config, nctx, core_cls=FastSMTCore)
+    assert fast.stats.__dict__ == ref.stats.__dict__
+    assert fast.paranoid_checks > 0, (
+        "paranoid mode ran but never exercised a stripped guard"
+    )
+
+
+def test_fast_engine_without_specialization_cycle_exact():
+    """--no-specialize must be the same simulation, guard by guard."""
+    from repro.pipeline.config import MachineConfig
+
+    build = build_workload(get_profile("ammp"), 2, scale=SCALE, seed=11)
+    for label, config in ENGINE_CONFIGS:
+        ref, _ = run_pipeline(build, config, 2)
+        job = build.limit_job() if config.limit_identical else build.job()
+        core = FastSMTCore(
+            MachineConfig(num_threads=2), config, job, strict=True,
+            specialize=False,
+        )
+        stats = core.run()
+        assert stats.__dict__ == ref.stats.__dict__, f"{label}: diverged"
+        assert core.ran_fast_loop
+        assert all(m is None for m in core.spec_manifests)
+
+
 def test_engine_registry():
     assert set(ENGINES) == {"reference", "fast"}
     assert resolve_engine("reference") is SMTCore

@@ -185,3 +185,43 @@ def test_cli_exits_nonzero_on_findings(tmp_path):
     )
     assert proc.returncode == 1
     assert "SIM001" in proc.stdout
+
+
+# ------------------------------------------------------- deprecation shim
+def test_main_warns_deprecation_pointing_at_selfcheck(tmp_path):
+    """The shim's main() is deprecated in favour of `repro selfcheck`;
+    importing the module (for its re-exports) must stay silent, and the
+    warning must not change any exit code."""
+    import warnings
+
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        code = simlint.main(["--all-rules", str(clean)])
+    assert code == 0
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro selfcheck" in str(deprecations[0].message)
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert simlint.main(["--all-rules", str(bad)]) == 1
+
+
+def test_import_does_not_warn():
+    import importlib.util
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        spec = importlib.util.spec_from_file_location("simlint_w", SIMLINT)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    assert not any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )

@@ -11,12 +11,17 @@ historical command-line contract:
 
 Exit status 1 when any finding is reported, 0 when clean, 2 when a
 ``# simlint: disable=...`` pragma names an unknown rule.
+
+Deprecated: ``python -m repro selfcheck`` runs the same rules plus the
+fast/reference drift check under one gate; invoking this shim emits a
+:class:`DeprecationWarning` pointing there.  Exit codes are unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 # CI invokes this tool without PYTHONPATH; make the in-tree package
@@ -46,6 +51,15 @@ __all__ = [
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Warn at invocation, not import: importing the shim for its
+    # re-exports (tests, editor tooling) stays silent.
+    warnings.warn(
+        "tools/simlint.py is a compatibility shim; run "
+        "'python -m repro selfcheck' for the same rules plus the "
+        "fast/reference drift check",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="+", type=Path)
     parser.add_argument(
